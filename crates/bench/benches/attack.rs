@@ -1,0 +1,30 @@
+//! Criterion bench: evaluating the Eq. 1 attack-complexity model across
+//! register sizes (exact u128 vs log-domain paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetrislock::attack::{tetrislock_complexity, tetrislock_complexity_log10, SegmentCensus};
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq1_exact");
+    for n in [5u32, 12, 20, 27] {
+        let census = SegmentCensus::uniform(n + 4, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &census, |b, census| {
+            b.iter(|| tetrislock_complexity(n, census).expect("fits in u128"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_log10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq1_log10");
+    for n in [20u32, 50, 100] {
+        let census = SegmentCensus::uniform(n + 10, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &census, |b, census| {
+            b.iter(|| tetrislock_complexity_log10(n, census));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_log10);
+criterion_main!(benches);

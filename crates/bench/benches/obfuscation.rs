@@ -1,0 +1,40 @@
+//! Criterion bench: obfuscation + split + recombine throughput per
+//! Table-I benchmark (the designer-side cost of TetrisLock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use revlib::table1_benchmarks;
+use tetrislock::recombine::recombine;
+use tetrislock::{InsertionConfig, Obfuscator};
+
+fn bench_obfuscate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obfuscate");
+    for bench in table1_benchmarks() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            bench.circuit(),
+            |b, circuit| {
+                let obfuscator = Obfuscator::new()
+                    .with_config(InsertionConfig { seed: 1, ..Default::default() });
+                b.iter(|| obfuscator.obfuscate(circuit));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split_recombine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_recombine");
+    for bench in table1_benchmarks() {
+        let obf = Obfuscator::new().with_seed(1).obfuscate(bench.circuit());
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &obf, |b, obf| {
+            b.iter(|| {
+                let split = obf.split(7);
+                recombine(&split).expect("recombination is total")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obfuscate, bench_split_recombine);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: simulator throughput — the substrate cost behind
+//! every accuracy/TVD data point (1000-shot noisy runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::{Sampler, Statevector};
+use revlib::{adder_1bit, rd53, rd84};
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for bench in [adder_1bit(), rd53(), rd84()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            bench.circuit(),
+            |b, circuit| {
+                b.iter(|| Statevector::from_circuit(circuit).expect("fits"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_noisy_shots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_1000_shots");
+    group.sample_size(10);
+    for bench in [adder_1bit(), rd53(), rd84()] {
+        let device = bench::device_for(bench.circuit().num_qubits());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            bench.circuit(),
+            |b, circuit| {
+                let sampler = Sampler::new(1000).with_seed(1);
+                b.iter(|| sampler.run_noisy(circuit, device.noise()).expect("fits"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_noisy_shots);
+criterion_main!(benches);

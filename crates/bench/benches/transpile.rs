@@ -1,0 +1,47 @@
+//! Criterion bench: untrusted-compiler cost — transpiling whole vs split
+//! circuits (split segments are smaller, so split compilation is cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcompile::Transpiler;
+use qsim::Device;
+use revlib::{adder_1bit, comparator_4gt13, mini_alu, mod5_4};
+use tetrislock::Obfuscator;
+
+fn bench_transpile_whole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile_whole");
+    for bench in [mini_alu(), mod5_4(), adder_1bit(), comparator_4gt13()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            bench.circuit(),
+            |b, circuit| {
+                let t = Transpiler::new(Device::fake_valencia());
+                b.iter(|| t.transpile(circuit).expect("fits on device"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transpile_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile_split_segments");
+    for bench in [mini_alu(), mod5_4(), adder_1bit()] {
+        let obf = Obfuscator::new().with_seed(3).obfuscate(bench.circuit());
+        let split = obf.split(5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &split,
+            |b, split| {
+                let t = Transpiler::new(Device::fake_valencia());
+                b.iter(|| {
+                    let l = t.transpile(&split.left.circuit).expect("fits");
+                    let r = t.transpile(&split.right.circuit).expect("fits");
+                    (l, r)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile_whole, bench_transpile_split);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates the paper's **Figure 4**: distribution of Total Variation
+//! Distance for obfuscated (`RC`, key withheld) vs restored (`R⁻¹RC`
+//! recombined) circuits under FakeValencia-style noise.
+//!
+//! ```text
+//! cargo run -p bench --bin fig4 --release
+//! ```
+
+use bench::{bar, fig4_point, ITERATIONS, SHOTS};
+use revlib::table1_benchmarks;
+
+fn main() {
+    println!("Figure 4 — TVD of obfuscated and restored circuits");
+    println!("({ITERATIONS} iterations, {SHOTS} shots; TVD vs theoretical output)\n");
+    println!(
+        "{:<12} {:>10} {:>8} {:<26} {:>10} {:>8}",
+        "Circuit", "obf mean", "±std", "", "rest mean", "±std"
+    );
+    println!("{}", "-".repeat(82));
+    for bench in table1_benchmarks() {
+        let point = fig4_point(&bench, ITERATIONS, SHOTS);
+        let o = point.obfuscated_summary();
+        let r = point.restored_summary();
+        println!(
+            "{:<12} {:>10.3} {:>8.3} [{}] {:>10.3} {:>8.3} [{}]",
+            point.name,
+            o.mean,
+            o.std,
+            bar(o.mean, 12),
+            r.mean,
+            r.std,
+            bar(r.mean, 12),
+        );
+    }
+    println!("\npaper reference: obfuscated TVD approaches 1 for large multi-bit");
+    println!("circuits (rd53/rd73/rd84) and is smaller for 1-bit circuits;");
+    println!("restored TVD stays near the noise floor for every benchmark.");
+}

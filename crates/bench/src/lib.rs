@@ -1,0 +1,245 @@
+//! # bench — the TetrisLock experiment harness
+//!
+//! Shared experiment drivers behind the table/figure regeneration
+//! binaries:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table I (overhead + accuracy, 20-iteration averages) |
+//! | `fig4` | Figure 4 (TVD of obfuscated vs restored circuits) |
+//! | `attack_complexity` | §IV-C / Eq. 1 comparison vs Saki et al. |
+//! | `baselines` | §II-C qualitative comparison vs prior schemes |
+//!
+//! Run with `--release`; the 12-qubit noisy runs are slow in debug mode.
+
+use qmetrics::stats::{percent_change, summarize, Summary};
+use qmetrics::{accuracy, tvd_vs_ideal};
+use qsim::{Device, Sampler};
+use revlib::Benchmark;
+use tetrislock::recombine::recombine;
+use tetrislock::{InsertionConfig, Obfuscator};
+
+/// Shots per simulation, matching the paper ("all simulations were
+/// performed with 1,000 shots").
+pub const SHOTS: u64 = 1000;
+
+/// Iterations per data point, matching Table I ("averages of 20
+/// iterations").
+pub const ITERATIONS: u64 = 20;
+
+/// Picks the noisy device hosting a benchmark: the 5-qubit FakeValencia
+/// model when it fits, otherwise the widened FakeValencia-style device
+/// (see DESIGN.md §2 on this substitution).
+pub fn device_for(num_qubits: u32) -> Device {
+    if num_qubits <= 5 {
+        Device::fake_valencia()
+    } else {
+        Device::fake_valencia_extended(num_qubits)
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Original circuit depth.
+    pub depth: usize,
+    /// Mean obfuscated depth (paper: identical to `depth`).
+    pub depth_obfuscated: f64,
+    /// Original gate count.
+    pub gates: usize,
+    /// Mean obfuscated gate count.
+    pub gates_obfuscated: f64,
+    /// Mean gate-count change in percent.
+    pub gate_change_percent: f64,
+    /// Mean total inserted-gate count, both halves (the paper's "1–4
+    /// gates").
+    pub inserted: f64,
+    /// Mean accuracy of the original circuit under device noise.
+    pub accuracy: f64,
+    /// Mean accuracy of the recombined (restored) circuit.
+    pub accuracy_restored: f64,
+    /// Accuracy change in percent (paper reports the absolute drop).
+    pub accuracy_change_percent: f64,
+}
+
+/// Runs the Table I experiment for one benchmark.
+///
+/// Per iteration: obfuscate with a fresh seed (gate limit 4, X/CX
+/// policy), split with an interlocking pattern, recombine, and measure
+/// original vs restored accuracy under the device noise model.
+///
+/// # Panics
+///
+/// Panics if simulation fails (register too large for the simulator).
+pub fn table1_row(bench: &Benchmark, iterations: u64, shots: u64) -> TableRow {
+    let circuit = bench.circuit();
+    let device = device_for(circuit.num_qubits());
+    let expected = bench.expected_output();
+
+    let mut depth_obf = Vec::new();
+    let mut gates_obf = Vec::new();
+    let mut inserted = Vec::new();
+    let mut acc_orig = Vec::new();
+    let mut acc_restored = Vec::new();
+
+    for iter in 0..iterations {
+        let obf = Obfuscator::new()
+            .with_config(InsertionConfig {
+                seed: iter,
+                ..Default::default()
+            })
+            .obfuscate(circuit);
+        depth_obf.push(obf.obfuscated().depth() as f64);
+        gates_obf.push(obf.obfuscated().gate_count() as f64);
+        inserted.push(obf.insertion().gate_overhead() as f64);
+
+        let split = obf.split(iter.wrapping_mul(0x9E37_79B9).wrapping_add(17));
+        let restored = recombine(&split).expect("recombination is total");
+
+        let sampler = Sampler::new(shots).with_seed(1000 + iter);
+        let counts = sampler
+            .run_noisy(circuit, device.noise())
+            .expect("simulation fits");
+        acc_orig.push(accuracy(&counts, expected));
+
+        let sampler = Sampler::new(shots).with_seed(2000 + iter);
+        let counts = sampler
+            .run_noisy(&restored, device.noise())
+            .expect("simulation fits");
+        acc_restored.push(accuracy(&counts, expected));
+    }
+
+    let accuracy_mean = summarize(&acc_orig).mean;
+    let restored_mean = summarize(&acc_restored).mean;
+    TableRow {
+        name: bench.name().to_string(),
+        depth: circuit.depth(),
+        depth_obfuscated: summarize(&depth_obf).mean,
+        gates: circuit.gate_count(),
+        gates_obfuscated: summarize(&gates_obf).mean,
+        gate_change_percent: percent_change(
+            circuit.gate_count() as f64,
+            summarize(&gates_obf).mean,
+        ),
+        inserted: summarize(&inserted).mean,
+        accuracy: accuracy_mean,
+        accuracy_restored: restored_mean,
+        accuracy_change_percent: percent_change(accuracy_mean, restored_mean).abs(),
+    }
+}
+
+/// One benchmark's Figure 4 data: TVD samples for the obfuscated
+/// (masked `RC`) and restored (`R⁻¹RC` recombined) circuits.
+#[derive(Debug, Clone)]
+pub struct TvdPoint {
+    /// Benchmark name.
+    pub name: String,
+    /// TVD of the masked circuit vs the theoretical output, per iteration.
+    pub obfuscated: Vec<f64>,
+    /// TVD of the restored circuit vs the theoretical output.
+    pub restored: Vec<f64>,
+}
+
+impl TvdPoint {
+    /// Summary of the obfuscated-circuit TVDs.
+    pub fn obfuscated_summary(&self) -> Summary {
+        summarize(&self.obfuscated)
+    }
+
+    /// Summary of the restored-circuit TVDs.
+    pub fn restored_summary(&self) -> Summary {
+        summarize(&self.restored)
+    }
+}
+
+/// Runs the Figure 4 experiment for one benchmark.
+///
+/// # Panics
+///
+/// Panics if simulation fails.
+pub fn fig4_point(bench: &Benchmark, iterations: u64, shots: u64) -> TvdPoint {
+    let circuit = bench.circuit();
+    let device = device_for(circuit.num_qubits());
+    let expected = bench.expected_output();
+
+    let mut obfuscated = Vec::new();
+    let mut restored = Vec::new();
+    for iter in 0..iterations {
+        let obf = Obfuscator::new()
+            .with_config(InsertionConfig {
+                seed: 7000 + iter,
+                ..Default::default()
+            })
+            .obfuscate(circuit);
+
+        // "Obfuscated" in Fig. 4 = what runs without the R⁻¹ key.
+        let masked = obf.masked_circuit();
+        let counts = Sampler::new(shots)
+            .with_seed(3000 + iter)
+            .run_noisy(&masked, device.noise())
+            .expect("simulation fits");
+        obfuscated.push(tvd_vs_ideal(&counts, expected));
+
+        let split = obf.split(4000 + iter);
+        let rejoined = recombine(&split).expect("recombination is total");
+        let counts = Sampler::new(shots)
+            .with_seed(5000 + iter)
+            .run_noisy(&rejoined, device.noise())
+            .expect("simulation fits");
+        restored.push(tvd_vs_ideal(&counts, expected));
+    }
+    TvdPoint {
+        name: bench.name().to_string(),
+        obfuscated,
+        restored,
+    }
+}
+
+/// Renders a `0..=1` value as a fixed-width ASCII bar.
+pub fn bar(value: f64, width: usize) -> String {
+    let filled = (value.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "█".repeat(filled), "░".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_selection_by_size() {
+        assert_eq!(device_for(4).name(), "fake_valencia");
+        assert_eq!(device_for(5).name(), "fake_valencia");
+        assert!(device_for(7).name().contains("ext7"));
+        assert!(device_for(12).name().contains("ext12"));
+    }
+
+    #[test]
+    fn table1_row_smoke() {
+        let bench = revlib::adder_1bit();
+        let row = table1_row(&bench, 3, 200);
+        assert_eq!(row.depth, 5);
+        // Depth must be preserved exactly in every iteration.
+        assert!((row.depth_obfuscated - row.depth as f64).abs() < 1e-12);
+        assert!(row.accuracy > 0.5);
+        assert!(row.accuracy_restored > 0.5);
+        assert!(row.gates_obfuscated >= row.gates as f64);
+    }
+
+    #[test]
+    fn fig4_point_smoke() {
+        let bench = revlib::mini_alu();
+        let point = fig4_point(&bench, 3, 200);
+        assert_eq!(point.obfuscated.len(), 3);
+        // Restored TVD must be small (noise only).
+        assert!(point.restored_summary().mean < 0.3);
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(0.0, 4), "░░░░");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██░░");
+    }
+}

@@ -1,0 +1,625 @@
+//! `tetrislock` — command-line front end for TetrisLock split compilation.
+//!
+//! ```text
+//! tetrislock inspect  <circuit>
+//! tetrislock protect  <circuit> --out-left L.qasm --out-right R.qasm \
+//!                     --meta design.tlk [--seed N] [--limit K] [--policy xcx|h|mixed]
+//! tetrislock recombine <left> <right> --meta design.tlk --out restored.qasm [--verify <original>]
+//! tetrislock verify   <a> <b>
+//! tetrislock compile  <circuit> --out compiled.qasm [--device valencia|ideal|linear:<n>]
+//! ```
+//!
+//! Circuits are read/written as OpenQASM 2.0 (`.qasm`) or RevLib
+//! (`.real`), chosen by extension. `protect` emits the two segment files
+//! for the untrusted compilers plus a designer-side `.tlk` metadata file
+//! that `recombine` consumes.
+
+mod io;
+mod meta;
+
+use meta::Meta;
+use qcir::{display, Circuit};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tetrislock::{GatePolicy, InsertionConfig, Obfuscator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `tetrislock help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("inspect") => inspect(&rest(args)),
+        Some("protect") => protect(&rest(args)),
+        Some("recombine") => recombine_cmd(&rest(args)),
+        Some("verify") => verify(&rest(args)),
+        Some("compile") => compile(&rest(args)),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const USAGE: &str = "\
+tetrislock — quantum circuit split compilation with interlocking patterns
+
+commands:
+  inspect   <circuit>                              show stats and a drawing
+  protect   <circuit> --out-left F --out-right F --meta F
+            [--seed N] [--limit K] [--policy xcx|h|mixed] [--split-seed N]
+            [--segments K --out-prefix P]   (k-way split: writes P0.qasm…)
+  recombine <seg> <seg> [<seg>…] --meta F --out F [--verify <original>]
+  verify    <a> <b>                                functional equivalence
+  compile   <circuit> --out F [--device valencia|ideal|linear:<n>]
+  help
+
+formats: .qasm (OpenQASM 2.0) and .real (RevLib), chosen by extension.
+";
+
+fn rest(args: &[String]) -> Vec<String> {
+    args[1..].to_vec()
+}
+
+/// Parsed command line: positional paths plus `--flag value` options.
+type ParsedArgs = (Vec<PathBuf>, Vec<(String, String)>);
+
+/// Splits positional arguments from `--flag value` options.
+fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{flag} expects a value"))?;
+            options.push((flag.to_string(), value.clone()));
+        } else {
+            positional.push(PathBuf::from(arg));
+        }
+    }
+    Ok((positional, options))
+}
+
+fn option<'a>(options: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .rev()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn required<'a>(options: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+    option(options, key).ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let (paths, _) = parse(args)?;
+    let path = paths.first().ok_or("inspect expects a circuit file")?;
+    let circuit = io::read_circuit(path)?;
+    println!(
+        "{}: {} qubits, {} gates, depth {}",
+        path.display(),
+        circuit.num_qubits(),
+        circuit.gate_count(),
+        circuit.depth()
+    );
+    let stats = qcir::stats::CircuitStats::of(&circuit);
+    println!("{stats}");
+    let summary: Vec<String> = stats.histogram.iter().map(|(g, n)| format!("{g}×{n}")).collect();
+    println!("gates: {}", summary.join(", "));
+    let timing = qcompile::schedule::schedule(&circuit, &qcompile::schedule::GateTimes::falcon());
+    println!("estimated duration: {:.0} ns (falcon gate times)", timing.duration_ns);
+    let slots = tetrislock::slots::SlotTable::new(&circuit);
+    println!(
+        "empty slots: {} cells across {} layers",
+        slots.total_empty_slots(),
+        slots.depth()
+    );
+    if circuit.num_qubits() <= 16 && circuit.depth() <= 40 {
+        print!("{}", display::render(&circuit));
+    }
+    Ok(())
+}
+
+fn protect(args: &[String]) -> Result<(), String> {
+    let (paths, options) = parse(args)?;
+    let input = paths.first().ok_or("protect expects a circuit file")?;
+    let meta_path = PathBuf::from(required(&options, "meta")?);
+    let seed: u64 = option(&options, "seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+    let split_seed: u64 = option(&options, "split-seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --split-seed")?;
+    let limit: usize = option(&options, "limit").unwrap_or("4").parse().map_err(|_| "bad --limit")?;
+    let segments: usize = option(&options, "segments")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "bad --segments")?;
+    if segments < 2 {
+        return Err("--segments must be at least 2".into());
+    }
+    let policy = match option(&options, "policy").unwrap_or("xcx") {
+        "xcx" => GatePolicy::XCx,
+        "h" | "hadamard" => GatePolicy::Hadamard,
+        "mixed" => GatePolicy::Mixed,
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+
+    let circuit = io::read_circuit(input)?;
+    let obf = Obfuscator::new()
+        .with_config(InsertionConfig {
+            seed,
+            gate_limit: limit,
+            policy,
+            ..Default::default()
+        })
+        .obfuscate(&circuit);
+
+    if segments == 2 {
+        let out_left = PathBuf::from(required(&options, "out-left")?);
+        let out_right = PathBuf::from(required(&options, "out-right")?);
+        let split = obf.split(split_seed);
+        io::write_circuit(&out_left, &split.left.circuit)?;
+        io::write_circuit(&out_right, &split.right.circuit)?;
+        let meta = Meta::from_split(&split, &input.display().to_string());
+        std::fs::write(&meta_path, meta.to_text())
+            .map_err(|e| format!("cannot write {}: {e}", meta_path.display()))?;
+        println!(
+            "inserted {} masking gates (depth change {}), split into {}q + {}q segments",
+            obf.insertion().gate_overhead(),
+            obf.depth_increase(),
+            split.left.circuit.num_qubits(),
+            split.right.circuit.num_qubits(),
+        );
+        println!("segment for compiler A: {}", out_left.display());
+        println!("segment for compiler B: {}", out_right.display());
+    } else {
+        use tetrislock::multiway::MultiwayPattern;
+        let prefix = required(&options, "out-prefix")?;
+        let pattern = MultiwayPattern::random_for(&obf, segments, split_seed);
+        let split = pattern.split(&obf);
+        let mut outputs = Vec::new();
+        for (i, segment) in split.segments.iter().enumerate() {
+            let path = PathBuf::from(format!("{prefix}{i}.qasm"));
+            io::write_circuit(&path, &segment.circuit)?;
+            outputs.push(path);
+        }
+        let meta = Meta::from_multiway(&split, &input.display().to_string());
+        std::fs::write(&meta_path, meta.to_text())
+            .map_err(|e| format!("cannot write {}: {e}", meta_path.display()))?;
+        println!(
+            "inserted {} masking gates (depth change {}), split into {} segments:",
+            obf.insertion().gate_overhead(),
+            obf.depth_increase(),
+            segments,
+        );
+        for (i, path) in outputs.iter().enumerate() {
+            println!(
+                "  compiler {}: {} ({}q, {} gates)",
+                (b'A' + i as u8) as char,
+                path.display(),
+                split.segments[i].circuit.num_qubits(),
+                split.segments[i].circuit.gate_count(),
+            );
+        }
+    }
+    println!("designer metadata (KEEP PRIVATE): {}", meta_path.display());
+    Ok(())
+}
+
+fn recombine_cmd(args: &[String]) -> Result<(), String> {
+    let (paths, options) = parse(args)?;
+    if paths.len() < 2 {
+        return Err("recombine expects at least two segment files".into());
+    }
+    let meta_path = PathBuf::from(required(&options, "meta")?);
+    let out = PathBuf::from(required(&options, "out")?);
+
+    let meta_text = std::fs::read_to_string(&meta_path)
+        .map_err(|e| format!("cannot read {}: {e}", meta_path.display()))?;
+    let meta = Meta::from_text(&meta_text)?;
+    if paths.len() != meta.num_segments() {
+        return Err(format!(
+            "metadata describes {} segments but {} files given",
+            meta.num_segments(),
+            paths.len()
+        ));
+    }
+
+    let circuits: Vec<Circuit> = paths
+        .iter()
+        .map(|p| io::read_circuit(p))
+        .collect::<Result<_, _>>()?;
+
+    // Extend each map over any extra wires the compilers introduced.
+    let mut next = meta.register;
+    let mut maps = meta.ordered_qubit_maps();
+    for (map, circuit) in maps.iter_mut().zip(&circuits) {
+        for w in 0..circuit.num_qubits() {
+            map.entry(qcir::Qubit::new(w)).or_insert_with(|| {
+                let fresh = next;
+                next += 1;
+                qcir::Qubit::new(fresh)
+            });
+        }
+    }
+
+    // Concatenate segments in order on the combined register.
+    let mut restored = Circuit::with_name(next, "recombined");
+    for (circuit, map) in circuits.iter().zip(&maps) {
+        for inst in circuit.iter() {
+            let mapped = inst.remapped(map).map_err(|e| e.to_string())?;
+            restored.push(mapped).map_err(|e| e.to_string())?;
+        }
+    }
+    io::write_circuit(&out, &restored)?;
+    println!(
+        "recombined {} segments → {} ({} gates over {} wires)",
+        circuits.len(),
+        out.display(),
+        restored.gate_count(),
+        restored.num_qubits(),
+    );
+
+    if let Some(original_path) = option(&options, "verify") {
+        let original = io::read_circuit(Path::new(original_path))?;
+        let ok = check_equivalence(&original, &restored)?;
+        println!("verification against {original_path}: {}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            return Err("restored circuit does not match the original".into());
+        }
+    }
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    let (paths, _) = parse(args)?;
+    if paths.len() < 2 {
+        return Err("verify expects two circuit files".into());
+    }
+    let a = io::read_circuit(&paths[0])?;
+    let b = io::read_circuit(&paths[1])?;
+    let ok = check_equivalence(&a, &b)?;
+    println!("{}", if ok { "equivalent" } else { "NOT equivalent" });
+    if ok {
+        Ok(())
+    } else {
+        Err("circuits differ".into())
+    }
+}
+
+/// Equivalence check: exhaustive classical permutation comparison when
+/// both circuits are classical (exact, any size up to 20 qubits), full
+/// unitary comparison otherwise (≤ 10 qubits). The smaller circuit is
+/// padded onto the larger register; extra wires must act as identity.
+fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<bool, String> {
+    let n = a.num_qubits().max(b.num_qubits());
+    let pad = |c: &Circuit| -> Circuit {
+        let mut out = Circuit::with_name(n, c.name());
+        out.compose(c).expect("padding cannot fail");
+        out
+    };
+    let (pa, pb) = (pad(a), pad(b));
+    let classical = pa.iter().chain(pb.iter()).all(|i| i.gate().is_classical());
+    if classical {
+        if n > 20 {
+            return Err("classical comparison capped at 20 qubits".into());
+        }
+        for input in 0..1usize << n {
+            if revlib::classical_eval(&pa, input) != revlib::classical_eval(&pb, input) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    } else {
+        qsim::unitary::equivalent_up_to_phase(&pa, &pb, 1e-9).map_err(|e| e.to_string())
+    }
+}
+
+fn compile(args: &[String]) -> Result<(), String> {
+    use qcompile::Transpiler;
+    use qsim::Device;
+    let (paths, options) = parse(args)?;
+    let input = paths.first().ok_or("compile expects a circuit file")?;
+    let out = PathBuf::from(required(&options, "out")?);
+    let circuit = io::read_circuit(input)?;
+
+    let device = match option(&options, "device").unwrap_or("valencia") {
+        "valencia" => {
+            if circuit.num_qubits() <= 5 {
+                Device::fake_valencia()
+            } else {
+                Device::fake_valencia_extended(circuit.num_qubits())
+            }
+        }
+        "ideal" => Device::ideal(circuit.num_qubits().max(2)),
+        spec => {
+            if let Some(n) = spec.strip_prefix("linear:") {
+                let n: u32 = n.parse().map_err(|_| "bad linear device size")?;
+                Device::linear(n, qsim::noise::NoiseModel::ideal())
+            } else {
+                return Err(format!("unknown device `{spec}`"));
+            }
+        }
+    };
+    let result = Transpiler::new(device)
+        .transpile(&circuit)
+        .map_err(|e| e.to_string())?;
+    // Emit in the *logical* frame (input wire i stays wire i; routing
+    // wires become trailing ancillas) so that `recombine` can map segment
+    // wires straight through the .tlk metadata.
+    let logical = result.into_logical_circuit();
+    io::write_circuit(&out, &logical)?;
+    println!(
+        "compiled {} → {} ({} native gates, {} swaps inserted)",
+        input.display(),
+        out.display(),
+        logical.gate_count(),
+        result.swaps_inserted,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tlk_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_demo_circuit() -> PathBuf {
+        let path = tmp("demo.qasm");
+        let mut c = Circuit::with_name(4, "demo");
+        c.h(0).cx(0, 1).cx(1, 2).cx(0, 1).x(3).cx(3, 2);
+        io::write_circuit(&path, &c).unwrap();
+        path
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(&s(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn inspect_demo() {
+        let path = write_demo_circuit();
+        assert!(run(&s(&["inspect", path.to_str().unwrap()])).is_ok());
+    }
+
+    #[test]
+    fn protect_recombine_verify_roundtrip() {
+        let input = write_demo_circuit();
+        let left = tmp("left.qasm");
+        let right = tmp("right.qasm");
+        let meta = tmp("demo.tlk");
+        let restored = tmp("restored.qasm");
+
+        run(&s(&[
+            "protect",
+            input.to_str().unwrap(),
+            "--out-left",
+            left.to_str().unwrap(),
+            "--out-right",
+            right.to_str().unwrap(),
+            "--meta",
+            meta.to_str().unwrap(),
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(left.exists() && right.exists() && meta.exists());
+
+        run(&s(&[
+            "recombine",
+            left.to_str().unwrap(),
+            right.to_str().unwrap(),
+            "--meta",
+            meta.to_str().unwrap(),
+            "--out",
+            restored.to_str().unwrap(),
+            "--verify",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // And the standalone verify command agrees.
+        run(&s(&[
+            "verify",
+            input.to_str().unwrap(),
+            restored.to_str().unwrap(),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn protect_compile_recombine_roundtrip() {
+        // The full shell workflow including the untrusted-compiler step.
+        let input = write_demo_circuit();
+        let left = tmp("cl.qasm");
+        let right = tmp("cr.qasm");
+        let meta = tmp("c.tlk");
+        let left_c = tmp("clc.qasm");
+        let right_c = tmp("crc.qasm");
+        let restored = tmp("crestored.qasm");
+
+        run(&s(&[
+            "protect",
+            input.to_str().unwrap(),
+            "--out-left",
+            left.to_str().unwrap(),
+            "--out-right",
+            right.to_str().unwrap(),
+            "--meta",
+            meta.to_str().unwrap(),
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        for (src, dst) in [(&left, &left_c), (&right, &right_c)] {
+            run(&s(&[
+                "compile",
+                src.to_str().unwrap(),
+                "--out",
+                dst.to_str().unwrap(),
+                "--device",
+                "valencia",
+            ]))
+            .unwrap();
+        }
+        run(&s(&[
+            "recombine",
+            left_c.to_str().unwrap(),
+            right_c.to_str().unwrap(),
+            "--meta",
+            meta.to_str().unwrap(),
+            "--out",
+            restored.to_str().unwrap(),
+            "--verify",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn multiway_protect_recombine_roundtrip() {
+        let input = write_demo_circuit();
+        let meta = tmp("mw.tlk");
+        let prefix = tmp("mwseg").to_str().unwrap().to_string();
+        let restored = tmp("mwrestored.qasm");
+
+        run(&s(&[
+            "protect",
+            input.to_str().unwrap(),
+            "--segments",
+            "3",
+            "--out-prefix",
+            &prefix,
+            "--meta",
+            meta.to_str().unwrap(),
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+
+        let seg_paths: Vec<String> = (0..3).map(|i| format!("{prefix}{i}.qasm")).collect();
+        for p in &seg_paths {
+            assert!(std::path::Path::new(p).exists(), "{p} missing");
+        }
+        let mut args = vec!["recombine".to_string()];
+        args.extend(seg_paths);
+        args.extend(s(&[
+            "--meta",
+            meta.to_str().unwrap(),
+            "--out",
+            restored.to_str().unwrap(),
+            "--verify",
+            input.to_str().unwrap(),
+        ]));
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn recombine_rejects_wrong_segment_count() {
+        let input = write_demo_circuit();
+        let left = tmp("wl.qasm");
+        let right = tmp("wr.qasm");
+        let meta = tmp("w.tlk");
+        run(&s(&[
+            "protect",
+            input.to_str().unwrap(),
+            "--out-left",
+            left.to_str().unwrap(),
+            "--out-right",
+            right.to_str().unwrap(),
+            "--meta",
+            meta.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&s(&[
+            "recombine",
+            left.to_str().unwrap(),
+            right.to_str().unwrap(),
+            left.to_str().unwrap(),
+            "--meta",
+            meta.to_str().unwrap(),
+            "--out",
+            tmp("wout.qasm").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("segments"));
+    }
+
+    #[test]
+    fn verify_detects_difference() {
+        let a_path = tmp("a.qasm");
+        let b_path = tmp("b.qasm");
+        let mut a = Circuit::new(2);
+        a.x(0);
+        let mut b = Circuit::new(2);
+        b.x(1);
+        io::write_circuit(&a_path, &a).unwrap();
+        io::write_circuit(&b_path, &b).unwrap();
+        assert!(run(&s(&["verify", a_path.to_str().unwrap(), b_path.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn compile_produces_device_circuit() {
+        let input = write_demo_circuit();
+        let out = tmp("compiled.qasm");
+        run(&s(&[
+            "compile",
+            input.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--device",
+            "valencia",
+        ]))
+        .unwrap();
+        let compiled = io::read_circuit(&out).unwrap();
+        assert!(compiled.gate_count() > 0);
+    }
+
+    #[test]
+    fn missing_options_reported() {
+        let input = write_demo_circuit();
+        let err = run(&s(&["protect", input.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("meta"));
+    }
+
+    #[test]
+    fn check_equivalence_padded_registers() {
+        let mut small = Circuit::new(2);
+        small.x(0);
+        let mut large = Circuit::new(3);
+        large.x(0);
+        assert!(check_equivalence(&small, &large).unwrap());
+        let mut wrong = Circuit::new(3);
+        wrong.x(2);
+        assert!(!check_equivalence(&small, &wrong).unwrap());
+    }
+}

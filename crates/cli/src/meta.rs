@@ -1,0 +1,251 @@
+//! The `.tlk` metadata sidecar.
+//!
+//! `tetrislock protect` splits a circuit into two segment files plus a
+//! metadata file holding everything the *designer* needs to recombine
+//! (and that the untrusted compilers must never see): the original
+//! register size and the segment→original wire maps.
+//!
+//! The format is deliberately trivial — line-based, self-describing:
+//!
+//! ```text
+//! tetrislock-meta v1
+//! register 5
+//! source adder.qasm
+//! map L 0 2
+//! map L 1 4
+//! map R 0 0
+//! ...
+//! ```
+
+use qcir::Qubit;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Designer-side recombination metadata.
+///
+/// Two-way splits use `left_map`/`right_map` (sides `L`/`R`); k-way
+/// splits store one map per segment in `segment_maps` (sides `S0`,
+/// `S1`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Meta {
+    /// Original register size.
+    pub register: u32,
+    /// Name of the protected source (informational).
+    pub source: String,
+    /// Left-segment wire → original wire.
+    pub left_map: BTreeMap<u32, u32>,
+    /// Right-segment wire → original wire.
+    pub right_map: BTreeMap<u32, u32>,
+    /// For k-way splits: per-segment wire → original wire, in execution
+    /// order. Empty for two-way splits.
+    pub segment_maps: Vec<BTreeMap<u32, u32>>,
+}
+
+fn invert(m: &BTreeMap<Qubit, Qubit>) -> BTreeMap<u32, u32> {
+    m.iter().map(|(&orig, &seg)| (seg.raw(), orig.raw())).collect()
+}
+
+impl Meta {
+    /// Builds metadata from a completed two-way split.
+    pub fn from_split(split: &tetrislock::SplitPair, source: &str) -> Self {
+        Meta {
+            register: split.original_qubits,
+            source: source.to_string(),
+            left_map: invert(&split.left.wire_map),
+            right_map: invert(&split.right.wire_map),
+            segment_maps: Vec::new(),
+        }
+    }
+
+    /// Builds metadata from a completed k-way split.
+    pub fn from_multiway(split: &tetrislock::multiway::MultiwaySplit, source: &str) -> Self {
+        Meta {
+            register: split.original_qubits,
+            source: source.to_string(),
+            left_map: BTreeMap::new(),
+            right_map: BTreeMap::new(),
+            segment_maps: split.segments.iter().map(|s| invert(&s.wire_map)).collect(),
+        }
+    }
+
+    /// Number of segments this metadata describes.
+    pub fn num_segments(&self) -> usize {
+        if self.segment_maps.is_empty() {
+            2
+        } else {
+            self.segment_maps.len()
+        }
+    }
+
+    /// Serializes to the `.tlk` text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("tetrislock-meta v1\n");
+        let _ = writeln!(out, "register {}", self.register);
+        if !self.source.is_empty() {
+            let _ = writeln!(out, "source {}", self.source);
+        }
+        for (seg, orig) in &self.left_map {
+            let _ = writeln!(out, "map L {seg} {orig}");
+        }
+        for (seg, orig) in &self.right_map {
+            let _ = writeln!(out, "map R {seg} {orig}");
+        }
+        for (i, map) in self.segment_maps.iter().enumerate() {
+            for (seg, orig) in map {
+                let _ = writeln!(out, "map S{i} {seg} {orig}");
+            }
+        }
+        out
+    }
+
+    /// Parses the `.tlk` text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed input.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == "tetrislock-meta v1" => {}
+            _ => return Err("missing `tetrislock-meta v1` header".into()),
+        }
+        let mut meta = Meta::default();
+        for (lineno, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("register") => {
+                    meta.register = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad register", lineno + 1))?;
+                }
+                Some("source") => {
+                    meta.source = parts.collect::<Vec<_>>().join(" ");
+                }
+                Some("map") => {
+                    let side = parts.next().ok_or_else(|| format!("line {}: map side", lineno + 1))?;
+                    let seg: u32 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: map segment wire", lineno + 1))?;
+                    let orig: u32 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: map original wire", lineno + 1))?;
+                    match side {
+                        "L" => {
+                            meta.left_map.insert(seg, orig);
+                        }
+                        "R" => {
+                            meta.right_map.insert(seg, orig);
+                        }
+                        s if s.starts_with('S') => {
+                            let index: usize = s[1..]
+                                .parse()
+                                .map_err(|_| format!("line {}: bad segment `{s}`", lineno + 1))?;
+                            if meta.segment_maps.len() <= index {
+                                meta.segment_maps.resize(index + 1, BTreeMap::new());
+                            }
+                            meta.segment_maps[index].insert(seg, orig);
+                        }
+                        other => return Err(format!("line {}: unknown side `{other}`", lineno + 1)),
+                    };
+                }
+                Some(other) => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+                None => {}
+            }
+        }
+        if meta.register == 0 {
+            return Err("missing register size".into());
+        }
+        Ok(meta)
+    }
+
+    /// The left map as `Qubit → Qubit` (segment → original).
+    pub fn left_qubit_map(&self) -> BTreeMap<Qubit, Qubit> {
+        self.left_map
+            .iter()
+            .map(|(&s, &o)| (Qubit::new(s), Qubit::new(o)))
+            .collect()
+    }
+
+    /// The right map as `Qubit → Qubit` (segment → original).
+    pub fn right_qubit_map(&self) -> BTreeMap<Qubit, Qubit> {
+        self.right_map
+            .iter()
+            .map(|(&s, &o)| (Qubit::new(s), Qubit::new(o)))
+            .collect()
+    }
+
+    /// The wire maps of every segment in execution order (`[left, right]`
+    /// for two-way metadata).
+    pub fn ordered_qubit_maps(&self) -> Vec<BTreeMap<Qubit, Qubit>> {
+        if self.segment_maps.is_empty() {
+            vec![self.left_qubit_map(), self.right_qubit_map()]
+        } else {
+            self.segment_maps
+                .iter()
+                .map(|m| {
+                    m.iter()
+                        .map(|(&s, &o)| (Qubit::new(s), Qubit::new(o)))
+                        .collect()
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Circuit;
+    use tetrislock::Obfuscator;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(0, 1);
+        let obf = Obfuscator::new().with_seed(3).obfuscate(&c);
+        let split = obf.split(1);
+        let meta = Meta::from_split(&split, "demo.qasm");
+        let text = meta.to_text();
+        let back = Meta::from_text(&text).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(back.register, 4);
+        assert_eq!(back.source, "demo.qasm");
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(Meta::from_text("register 3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_register() {
+        assert!(Meta::from_text("tetrislock-meta v1\nsource x\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_map() {
+        let text = "tetrislock-meta v1\nregister 3\nmap Q 0 1\n";
+        assert!(Meta::from_text(text).is_err());
+        let text = "tetrislock-meta v1\nregister 3\nmap L x 1\n";
+        assert!(Meta::from_text(text).is_err());
+    }
+
+    #[test]
+    fn qubit_maps_match_raw_maps() {
+        let meta = Meta {
+            register: 3,
+            left_map: [(0, 2)].into(),
+            right_map: [(1, 0)].into(),
+            ..Meta::default()
+        };
+        assert_eq!(meta.left_qubit_map()[&Qubit::new(0)], Qubit::new(2));
+        assert_eq!(meta.right_qubit_map()[&Qubit::new(1)], Qubit::new(0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Security analysis of a completed split.
+//!
+//! Quantifies, for a given obfuscation + split, the properties the paper
+//! argues qualitatively in §IV-C: how much of the original design each
+//! compiler sees, how jagged the boundary is, how mismatched the segment
+//! widths are, and the resulting Eq. 1 attack complexity.
+
+use crate::attack::{saki_complexity_log10, tetrislock_complexity_log10, SegmentCensus};
+use crate::interlock::SplitPair;
+use crate::obfuscate::Obfuscation;
+use std::collections::BTreeSet;
+
+/// Quantitative security report for one split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitReport {
+    /// Fraction of *original-circuit* gates visible to the left compiler.
+    pub left_exposure: f64,
+    /// Fraction of original gates visible to the right compiler.
+    pub right_exposure: f64,
+    /// Number of distinct cut columns across wires (1 = straight cut;
+    /// higher = more interlocked).
+    pub distinct_cuts: usize,
+    /// Absolute difference between segment qubit counts.
+    pub width_gap: u32,
+    /// `true` if every R/R⁻¹ pair straddles the boundary.
+    pub pairs_separated: bool,
+    /// log₁₀ of the Eq. 1 collusion complexity for this split (attacker
+    /// holds the left segment, census = uniform k=4 up to `n_max`).
+    pub eq1_log10: f64,
+    /// log₁₀ of the equal-width baseline complexity for comparison.
+    pub baseline_log10: f64,
+}
+
+impl SplitReport {
+    /// `true` if neither compiler sees the complete original circuit.
+    pub fn no_full_exposure(&self) -> bool {
+        self.left_exposure < 1.0 && self.right_exposure < 1.0
+    }
+}
+
+/// Analyzes a split against its obfuscation.
+///
+/// # Panics
+///
+/// Panics if `split` does not belong to `obfuscation` (assignment length
+/// mismatch).
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use tetrislock::{analysis::analyze_split, Obfuscator};
+///
+/// let mut c = Circuit::new(4);
+/// c.h(0).cx(0, 1).cx(1, 2).cx(0, 1);
+/// let obf = Obfuscator::new().with_seed(1).obfuscate(&c);
+/// let split = obf.split(3);
+/// let report = analyze_split(&obf, &split);
+/// assert!(report.pairs_separated);
+/// assert!(report.no_full_exposure());
+/// ```
+pub fn analyze_split(obfuscation: &Obfuscation, split: &SplitPair) -> SplitReport {
+    let total = obfuscation.obfuscated().gate_count();
+    assert_eq!(
+        split.assignment.len(),
+        total,
+        "split does not match obfuscation"
+    );
+
+    // Indices of inserted gates (either half).
+    let inserted: BTreeSet<usize> = obfuscation
+        .insertion()
+        .pairs
+        .iter()
+        .flat_map(|p| [p.inverse_index, p.forward_index])
+        .collect();
+    let original_total = total - inserted.len();
+
+    let mut left_original = 0usize;
+    let mut right_original = 0usize;
+    for (idx, &goes_left) in split.assignment.iter().enumerate() {
+        if inserted.contains(&idx) {
+            continue;
+        }
+        if goes_left {
+            left_original += 1;
+        } else {
+            right_original += 1;
+        }
+    }
+    let frac = |count: usize| {
+        if original_total == 0 {
+            0.0
+        } else {
+            count as f64 / original_total as f64
+        }
+    };
+
+    let distinct_cuts: BTreeSet<usize> = split.pattern.cuts().iter().copied().collect();
+    let (wl, wr) = (
+        split.left.circuit.num_qubits(),
+        split.right.circuit.num_qubits(),
+    );
+
+    let n_max = obfuscation.obfuscated().num_qubits() + 4;
+    let census = SegmentCensus::uniform(n_max, 4);
+    SplitReport {
+        left_exposure: frac(left_original),
+        right_exposure: frac(right_original),
+        distinct_cuts: distinct_cuts.len(),
+        width_gap: wl.abs_diff(wr),
+        pairs_separated: obfuscation.split_separates_pairs(split),
+        eq1_log10: tetrislock_complexity_log10(wl, &census),
+        baseline_log10: saki_complexity_log10(obfuscation.obfuscated().num_qubits(), 4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obfuscate::Obfuscator;
+    use qcir::Circuit;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::with_name(6, "analysis");
+        c.h(0).cx(0, 1).x(1).cx(1, 2).h(2).cx(2, 3).cx(3, 4).x(3).cx(4, 5).h(5);
+        c
+    }
+
+    #[test]
+    fn exposures_partition_original_gates() {
+        let c = sample();
+        for seed in 0..10 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(&c);
+            let split = obf.split(seed + 3);
+            let report = analyze_split(&obf, &split);
+            assert!(
+                (report.left_exposure + report.right_exposure - 1.0).abs() < 1e-12,
+                "seed {seed}: exposures must sum to 1"
+            );
+            assert!(report.no_full_exposure() || report.left_exposure == 1.0 || report.right_exposure == 1.0);
+        }
+    }
+
+    #[test]
+    fn default_splits_separate_pairs_and_hide_design() {
+        let c = sample();
+        let mut hidden = 0;
+        for seed in 0..10 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(&c);
+            let split = obf.split(seed * 7 + 1);
+            let report = analyze_split(&obf, &split);
+            assert!(report.pairs_separated, "seed {seed}");
+            if report.no_full_exposure() {
+                hidden += 1;
+            }
+        }
+        assert!(hidden >= 7, "full design leaked too often: {hidden}/10 hidden");
+    }
+
+    #[test]
+    fn jaggedness_counted() {
+        let c = sample();
+        let obf = Obfuscator::new().with_seed(2).obfuscate(&c);
+        let split = obf.split(5);
+        let report = analyze_split(&obf, &split);
+        assert!(report.distinct_cuts >= 2, "cut should be jagged");
+        assert!(report.eq1_log10 > report.baseline_log10 - 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_split_rejected() {
+        let c = sample();
+        let obf_a = Obfuscator::new().with_seed(1).obfuscate(&c);
+        let mut small = Circuit::new(3);
+        small.x(0);
+        let obf_b = Obfuscator::new().with_seed(1).obfuscate(&small);
+        let split_b = obf_b.split(1);
+        let _ = analyze_split(&obf_a, &split_b);
+    }
+}

@@ -1,0 +1,52 @@
+//! TetrisLock error types.
+
+use std::fmt;
+
+/// Errors raised by the obfuscation/de-obfuscation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Recombination failed (incomplete wire map, register overflow, …).
+    Recombine(String),
+    /// An attack-complexity computation overflowed the exact integer
+    /// domain; use the log-domain API instead.
+    ComplexityOverflow {
+        /// Qubit count that overflowed.
+        qubits: u32,
+    },
+    /// Invalid configuration (e.g. zero shots, empty split).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Recombine(message) => write!(f, "recombination failed: {message}"),
+            LockError::ComplexityOverflow { qubits } => write!(
+                f,
+                "attack complexity for {qubits} qubits overflows u128; use the log10 API"
+            ),
+            LockError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LockError::Recombine("x".into()).to_string().contains("x"));
+        assert!(LockError::ComplexityOverflow { qubits: 40 }
+            .to_string()
+            .contains("40"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<LockError>();
+    }
+}

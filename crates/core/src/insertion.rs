@@ -1,0 +1,531 @@
+//! Random gate insertion (the paper's Algorithm 1).
+//!
+//! Inserts a random circuit `R` *and its inverse* `R⁻¹` into empty slots
+//! of the original circuit so that:
+//!
+//! * the obfuscated circuit computes exactly `R⁻¹·R·C = C` — each inserted
+//!   gate `g` is paired with `g†` placed earlier inside the same idle
+//!   window, with no gate touching those wires in between, so the pair
+//!   cancels algebraically with no commutation assumptions;
+//! * circuit depth is *provably unchanged*: gates only occupy idle
+//!   wire-layer cells, so the layer count (and hence ASAP depth) cannot
+//!   move (the paper's "0% depth increase" claim);
+//! * the `R` halves sit strictly later than their `R⁻¹` partners, so the
+//!   interlocking split can separate them into different segments.
+
+use crate::policy::{DrawnGate, GatePolicy};
+use crate::slots::SlotTable;
+use qcir::dag::layered_instructions;
+use qcir::{Circuit, Gate, Instruction, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InsertionConfig {
+    /// Maximum *total* number of inserted gates, counting both the `R`
+    /// and `R⁻¹` halves — the paper's Table I reports "a total of 1–4
+    /// gates inserted". Each pair consumes 2 of this budget, so the
+    /// default of 4 yields at most two pairs.
+    pub gate_limit: usize,
+    /// Gate pool (X/CX for arithmetic circuits, H for Grover-style).
+    pub policy: GatePolicy,
+    /// RNG seed (experiments average over 20 seeds).
+    pub seed: u64,
+    /// Restrict insertion to *leading* idle windows (wires untouched since
+    /// layer 0), exactly as in the paper's `R⁻¹RC` front placement. This
+    /// is the default because it is what guarantees the interlocking
+    /// split can always separate `g†` from `g`: the inverse half is the
+    /// first gate on its wires, so no earlier right-assigned gate can
+    /// freeze those wires. When `false`, mid-circuit and trailing idle
+    /// windows are fair game too — function and depth are still exactly
+    /// preserved, but a pair may end up with both halves in one segment
+    /// (weaker masking for that pair).
+    pub leading_only: bool,
+}
+
+impl Default for InsertionConfig {
+    fn default() -> Self {
+        InsertionConfig {
+            gate_limit: 4,
+            policy: GatePolicy::XCx,
+            seed: 0,
+            leading_only: true,
+        }
+    }
+}
+
+/// One inserted `(g†, g)` pair with its placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertedPair {
+    /// The forward gate `g` (part of `R`).
+    pub gate: Gate,
+    /// Operand wires.
+    pub qubits: Vec<Qubit>,
+    /// Layer of the inverse half `g†` (part of `R⁻¹`).
+    pub inverse_layer: usize,
+    /// Layer of the forward half `g` (strictly greater).
+    pub forward_layer: usize,
+    /// Instruction index of `g†` in the obfuscated circuit.
+    pub inverse_index: usize,
+    /// Instruction index of `g` in the obfuscated circuit.
+    pub forward_index: usize,
+}
+
+/// Result of running Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct Insertion {
+    /// The obfuscated circuit `R⁻¹RC` (same register, same depth as `C`).
+    pub circuit: Circuit,
+    /// The inserted pairs, in forward-layer order.
+    pub pairs: Vec<InsertedPair>,
+}
+
+impl Insertion {
+    /// Number of forward gates inserted (the paper's "gates inserted").
+    pub fn inserted_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total gate-count overhead (forward + inverse halves).
+    pub fn gate_overhead(&self) -> usize {
+        2 * self.pairs.len()
+    }
+
+    /// The masked view `R·C`: the obfuscated circuit with the `R⁻¹`
+    /// halves stripped. This is what an attacker reconstructs if they
+    /// isolate the right segment — and what Figure 4's "obfuscated" TVD
+    /// curve measures.
+    pub fn masked_circuit(&self) -> Circuit {
+        let skip: std::collections::BTreeSet<usize> =
+            self.pairs.iter().map(|p| p.inverse_index).collect();
+        let mut out = Circuit::with_name(
+            self.circuit.num_qubits(),
+            format!("{}_masked", self.circuit.name()),
+        );
+        for (i, inst) in self.circuit.iter().enumerate() {
+            if !skip.contains(&i) {
+                out.push(inst.clone()).expect("same register");
+            }
+        }
+        out
+    }
+
+    /// The random circuit `R` (forward halves only, in order) on the same
+    /// register.
+    pub fn r_circuit(&self) -> Circuit {
+        let mut out = Circuit::with_name(self.circuit.num_qubits(), "R");
+        let mut pairs = self.pairs.clone();
+        pairs.sort_by_key(|p| p.forward_index);
+        for p in pairs {
+            out.push(Instruction::new(p.gate.clone(), p.qubits.clone()).expect("valid pair"))
+                .expect("same register");
+        }
+        out
+    }
+
+    /// The inverse random circuit `R⁻¹` on the same register.
+    pub fn r_inverse_circuit(&self) -> Circuit {
+        let mut c = self.r_circuit().inverse();
+        c.set_name("R_dg");
+        c
+    }
+}
+
+/// Runs Algorithm 1 on `circuit`.
+///
+/// Empty-slot discovery follows the paper (DAG → layers → per-layer
+/// unused qubits); placement then picks an idle window of length ≥ 2,
+/// drops `g†` in an early column and `g` in a later one, and reserves the
+/// spanned cells so later insertions cannot break the cancellation.
+///
+/// Circuits with no idle windows (fully dense) come back unchanged with
+/// zero pairs — the honest outcome under the zero-depth-overhead
+/// constraint.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use tetrislock::insertion::{insert_random_pairs, InsertionConfig};
+///
+/// let mut c = Circuit::new(4);
+/// c.h(0).cx(0, 1).cx(1, 2).cx(0, 1); // q3 idle; q2 idle until layer 2
+/// let result = insert_random_pairs(&c, &InsertionConfig::default());
+/// assert!(result.inserted_count() >= 1);
+/// assert_eq!(result.circuit.depth(), c.depth()); // 0% depth increase
+/// ```
+pub fn insert_random_pairs(circuit: &Circuit, config: &InsertionConfig) -> Insertion {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let slots = SlotTable::new(circuit);
+    let depth = slots.depth();
+    let n = circuit.num_qubits();
+
+    // Occupancy matrix [wire][layer]: true = used (original gate or
+    // reserved by an inserted pair's span).
+    let mut occupied = vec![vec![false; depth]; n as usize];
+    for (q, wire_row) in occupied.iter_mut().enumerate() {
+        for (layer, cell) in wire_row.iter_mut().enumerate() {
+            if !slots.empty_at(layer).contains(&Qubit::new(q as u32)) {
+                *cell = true;
+            }
+        }
+    }
+
+    // Planned insertions: (gate, wires, inv_layer, fwd_layer).
+    let mut planned: Vec<(Gate, Vec<Qubit>, usize, usize)> = Vec::new();
+
+    // A wire-column span [s, e) is free if every cell is unoccupied.
+    let span_free = |occupied: &Vec<Vec<bool>>, wires: &[u32], s: usize, e: usize| {
+        wires
+            .iter()
+            .all(|&w| (s..e).all(|l| !occupied[w as usize][l]))
+    };
+
+    // Candidate spans of length >= 2 for the given wires under the
+    // leading-only restriction.
+    let candidate_spans = |occupied: &Vec<Vec<bool>>, wires: &[u32]| -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut start = None;
+        #[allow(clippy::needless_range_loop)] // parallel indexing across wires
+        for layer in 0..depth {
+            let free = wires.iter().all(|&w| !occupied[w as usize][layer]);
+            match (free, start) {
+                (true, None) => start = Some(layer),
+                (false, Some(s)) => {
+                    if layer - s >= 2 {
+                        spans.push((s, layer));
+                    }
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            if depth - s >= 2 {
+                spans.push((s, depth));
+            }
+        }
+        if config.leading_only {
+            spans.retain(|&(s, _)| s == 0);
+        }
+        spans
+    };
+
+    while (planned.len() + 1) * 2 <= config.gate_limit {
+        // Gather single-wire and pair candidates under current occupancy.
+        let mut single_candidates: Vec<(u32, usize, usize)> = Vec::new();
+        for w in 0..n {
+            for (s, e) in candidate_spans(&occupied, &[w]) {
+                single_candidates.push((w, s, e));
+            }
+        }
+        let mut pair_candidates: Vec<(u32, u32, usize, usize)> = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                for (s, e) in candidate_spans(&occupied, &[a, b]) {
+                    pair_candidates.push((a, b, s, e));
+                }
+            }
+        }
+        if single_candidates.is_empty() && pair_candidates.is_empty() {
+            break;
+        }
+
+        let drawn = config.policy.draw(!pair_candidates.is_empty(), &mut rng);
+        let (gate, wires, span) = match drawn {
+            DrawnGate::TwoQubit(g) if !pair_candidates.is_empty() => {
+                let &(a, b, s, e) = &pair_candidates[rng.gen_range(0..pair_candidates.len())];
+                (g, vec![a, b], (s, e))
+            }
+            DrawnGate::TwoQubit(_) | DrawnGate::Single(_) if single_candidates.is_empty() => {
+                // Policy wanted a single but none fit; fall back to a pair.
+                let &(a, b, s, e) = &pair_candidates[rng.gen_range(0..pair_candidates.len())];
+                (Gate::CX, vec![a, b], (s, e))
+            }
+            DrawnGate::Single(g) => {
+                let &(w, s, e) = &single_candidates[rng.gen_range(0..single_candidates.len())];
+                (g, vec![w], (s, e))
+            }
+            DrawnGate::TwoQubit(g) => {
+                // Unreachable (guarded above) but harmless.
+                let &(a, b, s, e) = &pair_candidates[rng.gen_range(0..pair_candidates.len())];
+                (g, vec![a, b], (s, e))
+            }
+        };
+
+        let (s, e) = span;
+        debug_assert!(span_free(&occupied, &wires, s, e));
+        // Place g† in the first half of the span, g in the second half.
+        let first_half = ((e - s) / 2).max(1);
+        let inv_layer = rng.gen_range(s..s + first_half).min(e - 2);
+        let fwd_layer = rng.gen_range(inv_layer + 1..e);
+        // Reserve the *entire* span so no later pair shares it: two pairs
+        // in one window would make their cut-column constraints collide
+        // and could strand a pair unseparated by the split.
+        for &w in &wires {
+            for cell in &mut occupied[w as usize][s..e] {
+                *cell = true;
+            }
+        }
+        planned.push((
+            gate,
+            wires.into_iter().map(Qubit::new).collect(),
+            inv_layer,
+            fwd_layer,
+        ));
+    }
+
+    // Rebuild the circuit layer by layer with insertions in place.
+    let layers = layered_instructions(circuit);
+    let mut out = Circuit::with_name(n, circuit.name());
+    // (planned_index, is_forward) keyed by layer.
+    let mut by_layer: Vec<Vec<(usize, bool)>> = vec![Vec::new(); depth];
+    for (pi, (_, _, inv_l, fwd_l)) in planned.iter().enumerate() {
+        by_layer[*inv_l].push((pi, false));
+        by_layer[*fwd_l].push((pi, true));
+    }
+
+    let mut inv_indices = vec![usize::MAX; planned.len()];
+    let mut fwd_indices = vec![usize::MAX; planned.len()];
+    for (layer_idx, layer) in layers.into_iter().enumerate() {
+        // Inserted inverse halves first within the layer (wire-disjoint
+        // from everything else in the layer, so order is cosmetic).
+        for &(pi, forward) in &by_layer[layer_idx] {
+            let (gate, qubits, _, _) = &planned[pi];
+            let inst =
+                Instruction::new(if forward { gate.clone() } else { gate.adjoint() }, qubits.clone())
+                    .expect("planned instruction valid");
+            let index = out.gate_count();
+            out.push(inst).expect("same register");
+            if forward {
+                fwd_indices[pi] = index;
+            } else {
+                inv_indices[pi] = index;
+            }
+        }
+        for inst in layer {
+            out.push(inst).expect("same register");
+        }
+    }
+
+    // Record the pairs with their *actual* ASAP layers in the rebuilt
+    // circuit: ASAP re-layering can schedule an inserted gate earlier
+    // than its planned column (its wires may be idle even earlier), and
+    // the interlocking split reasons in ASAP layers.
+    let out_dag = qcir::CircuitDag::new(&out);
+    let mut pairs: Vec<InsertedPair> = planned
+        .into_iter()
+        .enumerate()
+        .map(|(pi, (gate, qubits, _, _))| InsertedPair {
+            gate,
+            qubits,
+            inverse_layer: out_dag.layer_of(inv_indices[pi]),
+            forward_layer: out_dag.layer_of(fwd_indices[pi]),
+            inverse_index: inv_indices[pi],
+            forward_index: fwd_indices[pi],
+        })
+        .collect();
+    pairs.sort_by_key(|p| p.forward_layer);
+
+    debug_assert_eq!(out.depth(), circuit.depth().max(out.depth().min(depth)));
+    Insertion { circuit: out, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::unitary::equivalent_up_to_phase;
+
+    fn roomy_circuit() -> Circuit {
+        // 5 wires, q3/q4 idle for a while.
+        let mut c = Circuit::with_name(5, "roomy");
+        c.h(0).cx(0, 1).cx(1, 2).ccx(0, 1, 2).cx(2, 3).cx(3, 4);
+        c
+    }
+
+    #[test]
+    fn depth_is_never_increased() {
+        for seed in 0..20 {
+            let c = roomy_circuit();
+            let config = InsertionConfig { seed, ..Default::default() };
+            let result = insert_random_pairs(&c, &config);
+            assert_eq!(result.circuit.depth(), c.depth(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn function_is_exactly_preserved() {
+        for seed in 0..10 {
+            let c = roomy_circuit();
+            let config = InsertionConfig { seed, ..Default::default() };
+            let result = insert_random_pairs(&c, &config);
+            assert!(
+                equivalent_up_to_phase(&c, &result.circuit, 1e-9).unwrap(),
+                "seed {seed} broke the unitary"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_gate_limit() {
+        let c = roomy_circuit();
+        for limit in 0..=8 {
+            let config = InsertionConfig {
+                gate_limit: limit,
+                seed: 7,
+                ..Default::default()
+            };
+            let result = insert_random_pairs(&c, &config);
+            // gate_limit counts total inserted gates (both halves).
+            assert!(result.gate_overhead() <= limit);
+            assert_eq!(result.gate_overhead(), 2 * result.inserted_count());
+        }
+    }
+
+    #[test]
+    fn inserts_at_least_one_gate_when_room_exists() {
+        let c = roomy_circuit();
+        let result = insert_random_pairs(&c, &InsertionConfig::default());
+        assert!(result.inserted_count() >= 1);
+        assert!(
+            result.circuit.gate_count() == c.gate_count() + result.gate_overhead()
+        );
+    }
+
+    #[test]
+    fn dense_circuit_gets_no_insertion() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1).cx(0, 1);
+        let result = insert_random_pairs(&c, &InsertionConfig::default());
+        assert_eq!(result.inserted_count(), 0);
+        assert_eq!(result.circuit.instructions(), c.instructions());
+    }
+
+    #[test]
+    fn masked_circuit_drops_only_inverse_halves() {
+        let c = roomy_circuit();
+        let result = insert_random_pairs(&c, &InsertionConfig { seed: 3, ..Default::default() });
+        let masked = result.masked_circuit();
+        assert_eq!(
+            masked.gate_count(),
+            result.circuit.gate_count() - result.inserted_count()
+        );
+    }
+
+    #[test]
+    fn masked_circuit_changes_function_when_x_inserted() {
+        // With X/CX insertions on leading windows the masked circuit RC
+        // must differ from C (the random gates actually fire).
+        let mut found_difference = false;
+        for seed in 0..20 {
+            let c = roomy_circuit();
+            let result =
+                insert_random_pairs(&c, &InsertionConfig { seed, ..Default::default() });
+            if result.inserted_count() == 0 {
+                continue;
+            }
+            let masked = result.masked_circuit();
+            if !equivalent_up_to_phase(&c, &masked, 1e-9).unwrap() {
+                found_difference = true;
+                break;
+            }
+        }
+        assert!(found_difference, "masking never changed the function");
+    }
+
+    #[test]
+    fn pairs_record_valid_indices() {
+        let c = roomy_circuit();
+        let result = insert_random_pairs(&c, &InsertionConfig { seed: 5, ..Default::default() });
+        for p in &result.pairs {
+            assert!(p.inverse_layer < p.forward_layer);
+            let inv = &result.circuit.instructions()[p.inverse_index];
+            let fwd = &result.circuit.instructions()[p.forward_index];
+            assert_eq!(fwd.gate(), &p.gate);
+            assert_eq!(inv.gate(), &p.gate.adjoint());
+            assert_eq!(inv.qubits(), p.qubits.as_slice());
+            assert!(p.inverse_index < p.forward_index);
+        }
+    }
+
+    #[test]
+    fn r_and_r_inverse_compose_to_identity() {
+        let c = roomy_circuit();
+        let result = insert_random_pairs(&c, &InsertionConfig { seed: 11, ..Default::default() });
+        if result.inserted_count() == 0 {
+            return;
+        }
+        let r = result.r_circuit();
+        let r_inv = result.r_inverse_circuit();
+        let composed = r_inv.then(&r).unwrap();
+        // R⁻¹ then R — wait: the circuit is R⁻¹·R·C in *time* order, i.e.
+        // R⁻¹ acts first. R⁻¹ followed by R is identity.
+        let id = Circuit::new(c.num_qubits());
+        assert!(equivalent_up_to_phase(&composed, &id, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn seeds_give_different_insertions() {
+        let c = roomy_circuit();
+        let a = insert_random_pairs(&c, &InsertionConfig { seed: 1, ..Default::default() });
+        let b = insert_random_pairs(&c, &InsertionConfig { seed: 2, ..Default::default() });
+        assert!(
+            a.circuit.instructions() != b.circuit.instructions()
+                || a.pairs != b.pairs
+                || a.inserted_count() == 0
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let c = roomy_circuit();
+        let cfg = InsertionConfig { seed: 9, ..Default::default() };
+        let a = insert_random_pairs(&c, &cfg);
+        let b = insert_random_pairs(&c, &cfg);
+        assert_eq!(a.circuit.instructions(), b.circuit.instructions());
+    }
+
+    #[test]
+    fn hadamard_policy_inserts_h_pairs() {
+        let c = roomy_circuit();
+        let cfg = InsertionConfig {
+            policy: GatePolicy::Hadamard,
+            seed: 4,
+            ..Default::default()
+        };
+        let result = insert_random_pairs(&c, &cfg);
+        for p in &result.pairs {
+            assert_eq!(p.gate, Gate::H);
+        }
+        assert!(equivalent_up_to_phase(&c, &result.circuit, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn leading_only_restricts_spans() {
+        let c = roomy_circuit();
+        let cfg = InsertionConfig {
+            leading_only: true,
+            seed: 6,
+            ..Default::default()
+        };
+        let result = insert_random_pairs(&c, &cfg);
+        let slots = SlotTable::new(&c);
+        for p in &result.pairs {
+            for q in &p.qubits {
+                // Every wire used must be idle from layer 0 through the
+                // forward layer in the original circuit.
+                let leading = slots
+                    .windows_for(*q)
+                    .iter()
+                    .find(|w| w.is_leading())
+                    .expect("pair wire must have a leading window");
+                assert!(p.forward_layer < leading.end);
+            }
+        }
+    }
+}

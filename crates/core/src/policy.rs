@@ -1,0 +1,115 @@
+//! Insertion gate policies.
+//!
+//! §V-A of the paper: "we strategically selected gate types for insertion
+//! based on the operations present in the benchmarks" — X/CX for
+//! arithmetic RevLib circuits, Hadamard for Grover-style circuits.
+
+use qcir::Gate;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which random gates Algorithm 1 draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GatePolicy {
+    /// NOT / CNOT gates — camouflages arithmetic circuits (adders, ALUs,
+    /// counters, comparators). The paper's default for RevLib.
+    #[default]
+    XCx,
+    /// Hadamard gates — camouflages superposition-heavy circuits such as
+    /// Grover's algorithm.
+    Hadamard,
+    /// Mixed pool (X, CX, H) — extension beyond the paper for ablation.
+    Mixed,
+}
+
+/// A gate chosen by the policy, before wire assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrawnGate {
+    /// A single-qubit insertion.
+    Single(Gate),
+    /// A CX insertion (needs two idle wires).
+    TwoQubit(Gate),
+}
+
+impl GatePolicy {
+    /// Draws a random gate kind. `pair_possible` tells the policy whether
+    /// a two-qubit slot is currently available; when it is, CX is chosen
+    /// with probability 1/2 (Algorithm 1's `Random(0,1) < 0.5` branch).
+    pub fn draw<R: Rng + ?Sized>(&self, pair_possible: bool, rng: &mut R) -> DrawnGate {
+        match self {
+            GatePolicy::XCx => {
+                if pair_possible && rng.gen::<f64>() < 0.5 {
+                    DrawnGate::TwoQubit(Gate::CX)
+                } else {
+                    DrawnGate::Single(Gate::X)
+                }
+            }
+            GatePolicy::Hadamard => DrawnGate::Single(Gate::H),
+            GatePolicy::Mixed => {
+                if pair_possible && rng.gen::<f64>() < 0.4 {
+                    DrawnGate::TwoQubit(Gate::CX)
+                } else if rng.gen::<f64>() < 0.5 {
+                    DrawnGate::Single(Gate::X)
+                } else {
+                    DrawnGate::Single(Gate::H)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xcx_draws_both_kinds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_x = false;
+        let mut saw_cx = false;
+        for _ in 0..100 {
+            match GatePolicy::XCx.draw(true, &mut rng) {
+                DrawnGate::Single(Gate::X) => saw_x = true,
+                DrawnGate::TwoQubit(Gate::CX) => saw_cx = true,
+                other => panic!("unexpected draw {other:?}"),
+            }
+        }
+        assert!(saw_x && saw_cx);
+    }
+
+    #[test]
+    fn xcx_without_pairs_only_draws_x() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(
+                GatePolicy::XCx.draw(false, &mut rng),
+                DrawnGate::Single(Gate::X)
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_policy_is_h_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(
+                GatePolicy::Hadamard.draw(true, &mut rng),
+                DrawnGate::Single(Gate::H)
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_policy_draws_h() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut saw_h = false;
+        for _ in 0..200 {
+            if GatePolicy::Mixed.draw(true, &mut rng) == DrawnGate::Single(Gate::H) {
+                saw_h = true;
+            }
+        }
+        assert!(saw_h);
+    }
+}

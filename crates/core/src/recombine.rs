@@ -1,0 +1,154 @@
+//! De-obfuscation: recombining split-compiled segments (§IV-B).
+//!
+//! The designer, holding the wire maps, concatenates the two compiled
+//! segments back onto the original register. Because the left segment is
+//! a per-wire prefix of the obfuscated circuit, `left ∘ right` reproduces
+//! `R⁻¹RC = C` exactly; the `R` halves cancel against their `R⁻¹`
+//! partners without any extra correction circuit — this is the paper's
+//! "eliminating redundancies" step.
+
+use crate::error::LockError;
+use crate::interlock::{Segment, SplitPair};
+use qcir::{Circuit, Qubit};
+use std::collections::BTreeMap;
+
+/// Recombines a split back into a circuit over the original register.
+///
+/// # Errors
+///
+/// Returns [`LockError::Recombine`] if a segment references a wire that
+/// its map does not cover.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use tetrislock::{Obfuscator, recombine::recombine};
+/// use qsim::unitary::equivalent_up_to_phase;
+///
+/// let mut c = Circuit::new(4);
+/// c.h(0).cx(0, 1).cx(1, 2).cx(0, 1);
+/// let obf = Obfuscator::new().with_seed(3).obfuscate(&c);
+/// let split = obf.split(9);
+/// let restored = recombine(&split)?;
+/// assert!(equivalent_up_to_phase(&c, &restored, 1e-9)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn recombine(split: &SplitPair) -> Result<Circuit, LockError> {
+    let mut out = Circuit::with_name(split.original_qubits, "recombined");
+    append_segment(&mut out, &split.left)?;
+    append_segment(&mut out, &split.right)?;
+    Ok(out)
+}
+
+/// Recombines two independently *compiled* segments. The caller supplies,
+/// for each segment, the compiled circuit together with the map from the
+/// segment's logical wires back to the original register (obtained by
+/// composing the split's wire map with the compiler's final layout).
+///
+/// # Errors
+///
+/// Returns [`LockError::Recombine`] on incomplete maps or register
+/// overflow.
+pub fn recombine_compiled(
+    num_qubits: u32,
+    left: &Circuit,
+    left_to_original: &BTreeMap<Qubit, Qubit>,
+    right: &Circuit,
+    right_to_original: &BTreeMap<Qubit, Qubit>,
+) -> Result<Circuit, LockError> {
+    let mut out = Circuit::with_name(num_qubits, "recombined_compiled");
+    for (circuit, map) in [(left, left_to_original), (right, right_to_original)] {
+        for inst in circuit.iter() {
+            let mapped = inst
+                .remapped(map)
+                .map_err(|e| LockError::Recombine(e.to_string()))?;
+            out.push(mapped)
+                .map_err(|e| LockError::Recombine(e.to_string()))?;
+        }
+    }
+    Ok(out)
+}
+
+fn append_segment(out: &mut Circuit, segment: &Segment) -> Result<(), LockError> {
+    let inverse = segment.inverse_map();
+    for inst in segment.circuit.iter() {
+        let mapped = inst
+            .remapped(&inverse)
+            .map_err(|e| LockError::Recombine(e.to_string()))?;
+        out.push(mapped)
+            .map_err(|e| LockError::Recombine(e.to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obfuscate::Obfuscator;
+    use qsim::unitary::equivalent_up_to_phase;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::with_name(5, "rt");
+        c.h(0).cx(0, 1).ccx(1, 2, 3).cx(3, 4).x(2).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn recombined_split_equals_original() {
+        for seed in 0..15 {
+            let c = sample();
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(&c);
+            let split = obf.split(seed ^ 0xDEAD);
+            let restored = recombine(&split).unwrap();
+            assert!(
+                equivalent_up_to_phase(&c, &restored, 1e-9).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn recombined_gate_count_matches_obfuscated() {
+        let c = sample();
+        let obf = Obfuscator::new().with_seed(4).obfuscate(&c);
+        let split = obf.split(2);
+        let restored = recombine(&split).unwrap();
+        assert_eq!(restored.gate_count(), obf.obfuscated().gate_count());
+        assert_eq!(restored.num_qubits(), c.num_qubits());
+    }
+
+    #[test]
+    fn recombine_compiled_maps_wires() {
+        // Identity maps → plain concatenation.
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        let map: BTreeMap<Qubit, Qubit> =
+            (0..2).map(|i| (Qubit::new(i), Qubit::new(i))).collect();
+        let joined = recombine_compiled(2, &a, &map, &b, &map).unwrap();
+        assert_eq!(joined.gate_count(), 2);
+    }
+
+    #[test]
+    fn recombine_compiled_rejects_missing_wire() {
+        let mut a = Circuit::new(2);
+        a.h(1);
+        let empty: BTreeMap<Qubit, Qubit> = BTreeMap::new();
+        let b = Circuit::new(1);
+        assert!(matches!(
+            recombine_compiled(2, &a, &empty, &b, &empty),
+            Err(LockError::Recombine(_))
+        ));
+    }
+
+    #[test]
+    fn recombine_compiled_rejects_overflow() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let bad: BTreeMap<Qubit, Qubit> = [(Qubit::new(0), Qubit::new(9))].into();
+        let b = Circuit::new(1);
+        assert!(recombine_compiled(2, &a, &bad, &b, &bad.clone()).is_err());
+    }
+}

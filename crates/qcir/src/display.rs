@@ -1,0 +1,179 @@
+//! ASCII circuit rendering.
+//!
+//! Renders circuits as wire diagrams similar to the figures in the paper
+//! (and to Qiskit's text drawer). Used by the examples to visualize the
+//! interlocking split of Figures 2 and 3.
+
+use crate::circuit::Circuit;
+use crate::dag::CircuitDag;
+use crate::gate::Gate;
+
+/// Renders `circuit` as an ASCII wire diagram, one row per qubit, one
+/// column per ASAP layer.
+///
+/// Controls render as `●`, targets of X-like gates as `⊕`, swaps as `x`,
+/// other gates by their mnemonic in a box-free compact form.
+///
+/// # Example
+///
+/// ```
+/// use qcir::{Circuit, display};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let art = display::render(&c);
+/// assert!(art.starts_with("q0"));
+/// assert!(art.contains("●"));
+/// ```
+pub fn render(circuit: &Circuit) -> String {
+    render_with_cuts(circuit, &[])
+}
+
+/// Like [`render`], but draws a `|` boundary marker after the given cut
+/// column on each qubit row: `cuts[q]` = number of leading columns of wire
+/// `q` that belong to the left segment. Used to visualize interlocking
+/// split boundaries. Wires absent from `cuts` get no marker.
+pub fn render_with_cuts(circuit: &Circuit, cuts: &[(u32, usize)]) -> String {
+    let dag = CircuitDag::new(circuit);
+    let n = circuit.num_qubits() as usize;
+    let num_layers = dag.num_layers();
+
+    // cell text per (qubit, layer)
+    let mut cells: Vec<Vec<String>> = vec![vec![String::new(); num_layers]; n];
+    for (layer_idx, layer) in dag.layers().iter().enumerate() {
+        for &node in &layer.nodes {
+            let inst = &circuit.instructions()[node];
+            let qubits = inst.qubits();
+            match inst.gate() {
+                Gate::CX | Gate::CCX | Gate::Mcx(_) => {
+                    for c in inst.controls() {
+                        cells[c.index()][layer_idx] = "●".to_string();
+                    }
+                    cells[inst.target().index()][layer_idx] = "⊕".to_string();
+                }
+                Gate::CZ | Gate::CP(_) | Gate::CRz(_) | Gate::CY | Gate::CH => {
+                    for c in inst.controls() {
+                        cells[c.index()][layer_idx] = "●".to_string();
+                    }
+                    let label = match inst.gate() {
+                        Gate::CZ => "Z",
+                        Gate::CY => "Y",
+                        Gate::CH => "H",
+                        Gate::CP(_) => "P",
+                        Gate::CRz(_) => "Rz",
+                        _ => unreachable!(),
+                    };
+                    cells[inst.target().index()][layer_idx] = label.to_string();
+                }
+                Gate::Swap => {
+                    cells[qubits[0].index()][layer_idx] = "x".to_string();
+                    cells[qubits[1].index()][layer_idx] = "x".to_string();
+                }
+                Gate::CSwap => {
+                    cells[qubits[0].index()][layer_idx] = "●".to_string();
+                    cells[qubits[1].index()][layer_idx] = "x".to_string();
+                    cells[qubits[2].index()][layer_idx] = "x".to_string();
+                }
+                g => {
+                    let label = match g {
+                        Gate::X => "X".to_string(),
+                        Gate::Y => "Y".to_string(),
+                        Gate::Z => "Z".to_string(),
+                        Gate::H => "H".to_string(),
+                        Gate::S => "S".to_string(),
+                        Gate::Sdg => "S†".to_string(),
+                        Gate::T => "T".to_string(),
+                        Gate::Tdg => "T†".to_string(),
+                        Gate::Sx => "√X".to_string(),
+                        Gate::Sxdg => "√X†".to_string(),
+                        Gate::I => "I".to_string(),
+                        Gate::Rx(_) => "Rx".to_string(),
+                        Gate::Ry(_) => "Ry".to_string(),
+                        Gate::Rz(_) => "Rz".to_string(),
+                        Gate::P(_) => "P".to_string(),
+                        Gate::U(..) => "U".to_string(),
+                        other => other.name().to_string(),
+                    };
+                    cells[qubits[0].index()][layer_idx] = label;
+                }
+            }
+        }
+    }
+
+    let col_width = 4;
+    let mut out = String::new();
+    for (q, row) in cells.iter().enumerate() {
+        let cut_after = cuts.iter().find(|(w, _)| *w as usize == q).map(|(_, c)| *c);
+        out.push_str(&format!("q{q:<2}: "));
+        for (layer, cell) in row.iter().enumerate() {
+            let body = if cell.is_empty() {
+                "─".repeat(col_width)
+            } else {
+                let pad = col_width.saturating_sub(cell.chars().count());
+                let left = pad / 2;
+                let right = pad - left;
+                format!("{}{}{}", "─".repeat(left), cell, "─".repeat(right))
+            };
+            out.push_str(&body);
+            if cut_after == Some(layer + 1) {
+                out.push('|');
+            } else {
+                out.push('─');
+            }
+        }
+        if cut_after == Some(0) {
+            // Whole wire belongs to the right segment.
+            out.insert(5, '|');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_each_wire_row() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2);
+        let art = render(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("q0"));
+        assert!(lines[2].starts_with("q2"));
+    }
+
+    #[test]
+    fn controls_and_targets_drawn() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let art = render(&c);
+        assert!(art.contains('●'));
+        assert!(art.contains('⊕'));
+    }
+
+    #[test]
+    fn swap_renders_as_x_pair() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let art = render(&c);
+        assert_eq!(art.matches('x').count(), 2);
+    }
+
+    #[test]
+    fn cut_marker_appears() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).h(1);
+        let art = render_with_cuts(&c, &[(0, 1), (1, 2)]);
+        assert!(art.contains('|'));
+    }
+
+    #[test]
+    fn empty_circuit_renders_bare_wires() {
+        let c = Circuit::new(2);
+        let art = render(&c);
+        assert_eq!(art.lines().count(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Qubit index newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a qubit wire within a [`crate::Circuit`].
+///
+/// A `Qubit` is a plain index; it carries no physical meaning until a layout
+/// maps it onto a device. The newtype prevents accidentally mixing qubit
+/// indices with layer indices, gate counts and other `usize` quantities that
+/// circulate through the obfuscation pipeline.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Qubit;
+///
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(format!("{q}"), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit with the given wire index.
+    pub const fn new(index: u32) -> Self {
+        Qubit(index)
+    }
+
+    /// Returns the wire index as a `usize`, convenient for indexing buffers.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` wire index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(index: u32) -> Self {
+        Qubit(index)
+    }
+}
+
+impl From<Qubit> for u32 {
+    fn from(q: Qubit) -> Self {
+        q.0
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(q: Qubit) -> Self {
+        q.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let q = Qubit::new(7);
+        assert_eq!(q.index(), 7);
+        assert_eq!(q.raw(), 7);
+        assert_eq!(u32::from(q), 7);
+        assert_eq!(usize::from(q), 7);
+        assert_eq!(Qubit::from(7u32), q);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit::new(1) < Qubit::new(2));
+        assert_eq!(Qubit::new(5), Qubit::new(5));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+        assert_eq!(Qubit::new(12).to_string(), "q12");
+    }
+}

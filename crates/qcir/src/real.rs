@@ -1,0 +1,352 @@
+//! RevLib `.real` reversible-circuit format.
+//!
+//! The RevLib benchmark suite (Wille et al., ISMVL 2008) distributes
+//! reversible functions in the `.real` format: a header declaring variables
+//! followed by a gate list of multi-controlled Toffoli (`t<n>`), Fredkin
+//! (`f<n>`) and related gates. The paper evaluates TetrisLock on RevLib
+//! circuits, so this module gives the workspace first-class `.real` I/O.
+//!
+//! Supported gate lines:
+//!
+//! * `t1 a` — NOT on `a`
+//! * `t2 a b` — CNOT (control `a`, target `b`)
+//! * `t<n> c… t` — multi-controlled Toffoli, controls first
+//! * `f2 a b` — SWAP; `f3 c a b` — Fredkin
+//! * `v2`/`v+2` lines are rejected (not used by the paper's benchmarks)
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parses a RevLib `.real` source into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] for malformed headers, unknown gate
+/// kinds, or references to undeclared variables.
+///
+/// # Example
+///
+/// ```
+/// use qcir::real;
+///
+/// let src = "# toy adder\n.version 2.0\n.numvars 3\n.variables a b c\n\
+///            .begin\nt3 a b c\nt2 a b\nt1 a\n.end\n";
+/// let circuit = real::from_real(src)?;
+/// assert_eq!(circuit.num_qubits(), 3);
+/// assert_eq!(circuit.gate_count(), 3);
+/// # Ok::<(), qcir::CircuitError>(())
+/// ```
+pub fn from_real(source: &str) -> Result<Circuit, CircuitError> {
+    let mut num_vars: Option<u32> = None;
+    let mut var_index: BTreeMap<String, u32> = BTreeMap::new();
+    let mut circuit: Option<Circuit> = None;
+    let mut in_body = false;
+    let mut name = String::new();
+
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw_line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(comment) = text.strip_prefix('#') {
+            if name.is_empty() {
+                name = comment.trim().to_string();
+            }
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let keyword = parts.next().unwrap_or_default();
+            match keyword {
+                "version" | "mode" | "inputs" | "outputs" | "constants" | "garbage"
+                | "inputbus" | "outputbus" | "state" | "module" => {}
+                "numvars" => {
+                    let n: u32 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| CircuitError::Parse {
+                            line,
+                            message: ".numvars expects a positive integer".into(),
+                        })?;
+                    if n == 0 {
+                        return Err(CircuitError::Parse {
+                            line,
+                            message: ".numvars must be positive".into(),
+                        });
+                    }
+                    num_vars = Some(n);
+                }
+                "variables" => {
+                    for (i, v) in parts.enumerate() {
+                        var_index.insert(v.to_string(), i as u32);
+                    }
+                }
+                "begin" => {
+                    let n = num_vars.or_else(|| {
+                        let len = var_index.len() as u32;
+                        (len > 0).then_some(len)
+                    });
+                    let n = n.ok_or_else(|| CircuitError::Parse {
+                        line,
+                        message: ".begin before .numvars/.variables".into(),
+                    })?;
+                    if var_index.is_empty() {
+                        // Synthesize x0..x{n-1} variable names.
+                        for i in 0..n {
+                            var_index.insert(format!("x{i}"), i);
+                        }
+                    }
+                    if var_index.len() as u32 != n {
+                        return Err(CircuitError::Parse {
+                            line,
+                            message: format!(
+                                ".numvars {} does not match {} declared variables",
+                                n,
+                                var_index.len()
+                            ),
+                        });
+                    }
+                    circuit = Some(Circuit::with_name(n, name.clone()));
+                    in_body = true;
+                }
+                "end" => {
+                    in_body = false;
+                }
+                other => {
+                    return Err(CircuitError::Parse {
+                        line,
+                        message: format!("unknown directive `.{other}`"),
+                    });
+                }
+            }
+            continue;
+        }
+
+        if !in_body {
+            return Err(CircuitError::Parse {
+                line,
+                message: format!("gate line `{text}` outside .begin/.end"),
+            });
+        }
+        let circuit = circuit.as_mut().expect("in_body implies circuit");
+
+        let mut parts = text.split_whitespace();
+        let kind = parts.next().expect("non-empty line");
+        let operands: Vec<u32> = parts
+            .map(|v| {
+                var_index.get(v).copied().ok_or_else(|| CircuitError::Parse {
+                    line,
+                    message: format!("undeclared variable `{v}`"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        if let Some(size) = kind.strip_prefix('t') {
+            let size: usize = size.parse().map_err(|_| CircuitError::Parse {
+                line,
+                message: format!("malformed toffoli gate `{kind}`"),
+            })?;
+            if operands.len() != size {
+                return Err(CircuitError::Parse {
+                    line,
+                    message: format!(
+                        "gate {kind} expects {size} operand(s), got {}",
+                        operands.len()
+                    ),
+                });
+            }
+            let (controls, target) = operands.split_at(size - 1);
+            circuit.mcx(controls, target[0]);
+        } else if let Some(size) = kind.strip_prefix('f') {
+            let size: usize = size.parse().map_err(|_| CircuitError::Parse {
+                line,
+                message: format!("malformed fredkin gate `{kind}`"),
+            })?;
+            if operands.len() != size {
+                return Err(CircuitError::Parse {
+                    line,
+                    message: format!(
+                        "gate {kind} expects {size} operand(s), got {}",
+                        operands.len()
+                    ),
+                });
+            }
+            match size {
+                2 => {
+                    circuit.swap(operands[0], operands[1]);
+                }
+                3 => {
+                    circuit.cswap(operands[0], operands[1], operands[2]);
+                }
+                _ => {
+                    return Err(CircuitError::Parse {
+                        line,
+                        message: format!("fredkin with {size} operands unsupported"),
+                    });
+                }
+            }
+        } else {
+            return Err(CircuitError::Parse {
+                line,
+                message: format!("unknown gate kind `{kind}`"),
+            });
+        }
+    }
+
+    circuit.ok_or_else(|| CircuitError::Parse {
+        line: 0,
+        message: "no .begin section found".into(),
+    })
+}
+
+/// Serializes a classical reversible circuit (X/CX/CCX/MCX/SWAP/CSWAP only)
+/// to the `.real` format.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Invalid`] if the circuit contains non-classical
+/// gates (e.g. H or rotations), which `.real` cannot express.
+///
+/// # Example
+///
+/// ```
+/// use qcir::{Circuit, real};
+///
+/// let mut c = Circuit::with_name(3, "demo");
+/// c.ccx(0, 1, 2).cx(0, 1).x(0);
+/// let text = real::to_real(&c)?;
+/// assert!(text.contains("t3 x0 x1 x2"));
+/// let back = real::from_real(&text)?;
+/// assert_eq!(back.gate_count(), 3);
+/// # Ok::<(), qcir::CircuitError>(())
+/// ```
+pub fn to_real(circuit: &Circuit) -> Result<String, CircuitError> {
+    use crate::gate::Gate;
+    let mut out = String::new();
+    if !circuit.name().is_empty() {
+        let _ = writeln!(out, "# {}", circuit.name());
+    }
+    out.push_str(".version 2.0\n");
+    let _ = writeln!(out, ".numvars {}", circuit.num_qubits());
+    let vars: Vec<String> = (0..circuit.num_qubits()).map(|i| format!("x{i}")).collect();
+    let _ = writeln!(out, ".variables {}", vars.join(" "));
+    out.push_str(".begin\n");
+    for inst in circuit.iter() {
+        let ops: Vec<&str> = inst
+            .qubits()
+            .iter()
+            .map(|q| vars[q.index()].as_str())
+            .collect();
+        match inst.gate() {
+            Gate::X => {
+                let _ = writeln!(out, "t1 {}", ops[0]);
+            }
+            Gate::CX => {
+                let _ = writeln!(out, "t2 {} {}", ops[0], ops[1]);
+            }
+            Gate::CCX => {
+                let _ = writeln!(out, "t3 {} {} {}", ops[0], ops[1], ops[2]);
+            }
+            Gate::Mcx(n) => {
+                let _ = writeln!(out, "t{} {}", n + 1, ops.join(" "));
+            }
+            Gate::Swap => {
+                let _ = writeln!(out, "f2 {} {}", ops[0], ops[1]);
+            }
+            Gate::CSwap => {
+                let _ = writeln!(out, "f3 {} {} {}", ops[0], ops[1], ops[2]);
+            }
+            other => {
+                return Err(CircuitError::Invalid(format!(
+                    "gate {other} cannot be expressed in .real format"
+                )));
+            }
+        }
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn parses_minimal_file() {
+        let src = ".numvars 2\n.variables a b\n.begin\nt2 a b\nt1 b\n.end\n";
+        let c = from_real(src).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.instruction(0).unwrap().gate(), &Gate::CX);
+        assert_eq!(c.instruction(1).unwrap().gate(), &Gate::X);
+    }
+
+    #[test]
+    fn takes_name_from_first_comment() {
+        let src = "# my bench\n.numvars 1\n.variables a\n.begin\nt1 a\n.end\n";
+        let c = from_real(src).unwrap();
+        assert_eq!(c.name(), "my bench");
+    }
+
+    #[test]
+    fn mct_gates_map_to_mcx() {
+        let src = ".numvars 5\n.variables a b c d e\n.begin\nt5 a b c d e\nt4 a b c d\n.end\n";
+        let c = from_real(src).unwrap();
+        assert_eq!(c.instruction(0).unwrap().gate(), &Gate::Mcx(4));
+        assert_eq!(c.instruction(1).unwrap().gate(), &Gate::Mcx(3));
+    }
+
+    #[test]
+    fn fredkin_and_swap() {
+        let src = ".numvars 3\n.variables a b c\n.begin\nf2 a b\nf3 a b c\n.end\n";
+        let c = from_real(src).unwrap();
+        assert_eq!(c.instruction(0).unwrap().gate(), &Gate::Swap);
+        assert_eq!(c.instruction(1).unwrap().gate(), &Gate::CSwap);
+    }
+
+    #[test]
+    fn numvars_without_variables_synthesizes_names() {
+        let src = ".numvars 3\n.begin\nt2 x0 x2\n.end\n";
+        let c = from_real(src).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let src = ".numvars 2\n.variables a b\n.begin\nt2 a z\n.end\n";
+        let err = from_real(src).unwrap_err();
+        assert!(err.to_string().contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_gate_outside_body() {
+        let src = ".numvars 2\n.variables a b\nt2 a b\n.begin\n.end\n";
+        assert!(from_real(src).is_err());
+    }
+
+    #[test]
+    fn rejects_operand_count_mismatch() {
+        let src = ".numvars 3\n.variables a b c\n.begin\nt3 a b\n.end\n";
+        assert!(from_real(src).is_err());
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut c = Circuit::with_name(4, "rt");
+        c.x(0).cx(0, 1).ccx(1, 2, 3).mcx(&[0, 1, 2], 3).swap(0, 3).cswap(0, 1, 2);
+        let text = to_real(&c).unwrap();
+        let back = from_real(&text).unwrap();
+        assert_eq!(back.instructions(), c.instructions());
+    }
+
+    #[test]
+    fn writer_rejects_non_classical() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        assert!(to_real(&c).is_err());
+    }
+}

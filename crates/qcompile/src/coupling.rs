@@ -1,0 +1,153 @@
+//! Coupling-map utilities: all-pairs shortest paths over the device graph.
+
+use crate::error::CompileError;
+use qsim::Device;
+
+/// Precomputed all-pairs shortest-path distances and next-hop table for a
+/// device coupling map.
+///
+/// # Example
+///
+/// ```
+/// use qsim::Device;
+/// use qcompile::coupling::DistanceMap;
+///
+/// let map = DistanceMap::new(&Device::fake_valencia())?;
+/// assert_eq!(map.distance(0, 1), 1);
+/// assert_eq!(map.distance(0, 4), 3); // 0-1-3-4
+/// # Ok::<(), qcompile::CompileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceMap {
+    n: usize,
+    dist: Vec<u32>,
+    /// next[a*n+b] = neighbour of `a` on a shortest path to `b`.
+    next: Vec<u32>,
+}
+
+const UNREACHABLE: u32 = u32::MAX;
+
+impl DistanceMap {
+    /// Builds the distance map via BFS from every qubit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unroutable`] if the coupling graph is
+    /// disconnected.
+    pub fn new(device: &Device) -> Result<Self, CompileError> {
+        let n = device.num_qubits() as usize;
+        let adj = device.adjacency();
+        let mut dist = vec![UNREACHABLE; n * n];
+        let mut next = vec![UNREACHABLE; n * n];
+
+        for start in 0..n {
+            dist[start * n + start] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(start as u32);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[start * n + u as usize];
+                for &v in &adj[u as usize] {
+                    if dist[start * n + v as usize] == UNREACHABLE {
+                        dist[start * n + v as usize] = du + 1;
+                        // First hop from start towards v: if u is start, the
+                        // hop is v itself, else inherit u's first hop.
+                        next[start * n + v as usize] = if u as usize == start {
+                            v
+                        } else {
+                            next[start * n + u as usize]
+                        };
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+
+        // Verify connectivity.
+        for a in 0..n {
+            for b in 0..n {
+                if dist[a * n + b] == UNREACHABLE {
+                    return Err(CompileError::Unroutable {
+                        a: a as u32,
+                        b: b as u32,
+                    });
+                }
+            }
+        }
+
+        Ok(DistanceMap { n, dist, next })
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance between physical qubits `a` and `b`.
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        self.dist[a as usize * self.n + b as usize]
+    }
+
+    /// The shortest path from `a` to `b`, inclusive of both endpoints.
+    pub fn path(&self, a: u32, b: u32) -> Vec<u32> {
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            cur = self.next[cur as usize * self.n + b as usize];
+            path.push(cur);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::noise::NoiseModel;
+
+    #[test]
+    fn valencia_distances() {
+        let map = DistanceMap::new(&Device::fake_valencia()).unwrap();
+        assert_eq!(map.distance(0, 0), 0);
+        assert_eq!(map.distance(0, 1), 1);
+        assert_eq!(map.distance(0, 2), 2);
+        assert_eq!(map.distance(0, 3), 2);
+        assert_eq!(map.distance(0, 4), 3);
+        assert_eq!(map.distance(2, 4), 3);
+    }
+
+    #[test]
+    fn distances_symmetric() {
+        let map = DistanceMap::new(&Device::fake_valencia()).unwrap();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(map.distance(a, b), map.distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_shortest() {
+        let map = DistanceMap::new(&Device::fake_valencia()).unwrap();
+        let p = map.path(0, 4);
+        assert_eq!(p, vec![0, 1, 3, 4]);
+        assert_eq!(p.len() as u32, map.distance(0, 4) + 1);
+        assert_eq!(map.path(2, 2), vec![2]);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let dev = Device::new("split", 4, vec![(0, 1), (2, 3)], vec!["cx"], NoiseModel::ideal());
+        assert!(matches!(
+            DistanceMap::new(&dev),
+            Err(CompileError::Unroutable { .. })
+        ));
+    }
+
+    #[test]
+    fn linear_device_distance_is_index_gap() {
+        let dev = Device::linear(8, NoiseModel::ideal());
+        let map = DistanceMap::new(&dev).unwrap();
+        assert_eq!(map.distance(0, 7), 7);
+        assert_eq!(map.distance(3, 5), 2);
+    }
+}

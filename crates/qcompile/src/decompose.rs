@@ -1,0 +1,315 @@
+//! Gate decomposition to {single-qubit, CX}.
+//!
+//! Lowers the full [`Gate`] set to single-qubit gates plus CX, the form the
+//! router and basis translator operate on. Multi-controlled X gates use the
+//! recursive multi-controlled-phase construction (no ancilla qubits), which
+//! matches how a compiler must handle RevLib's MCT networks on real
+//! hardware.
+
+use qcir::{Circuit, Gate, Instruction};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Decomposes every gate in `circuit` into single-qubit gates and CX.
+///
+/// The output acts on the same wires and implements the same unitary (up to
+/// global phase).
+///
+/// # Example
+///
+/// ```
+/// use qcir::{Circuit, Gate};
+/// use qcompile::decompose::decompose_to_cx;
+///
+/// let mut c = Circuit::new(3);
+/// c.ccx(0, 1, 2);
+/// let lowered = decompose_to_cx(&c);
+/// assert!(lowered.iter().all(|i| i.gate().arity() == 1 || i.gate() == &Gate::CX));
+/// ```
+pub fn decompose_to_cx(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name());
+    for inst in circuit.iter() {
+        emit(&mut out, inst);
+    }
+    out
+}
+
+fn q(inst: &Instruction, i: usize) -> u32 {
+    inst.qubits()[i].raw()
+}
+
+fn emit(out: &mut Circuit, inst: &Instruction) {
+    match inst.gate() {
+        Gate::I => {}
+        g if g.arity() == 1 => {
+            out.push(inst.clone()).expect("same register");
+        }
+        Gate::CX => {
+            out.push(inst.clone()).expect("same register");
+        }
+        Gate::CZ => {
+            let (c, t) = (q(inst, 0), q(inst, 1));
+            out.h(t).cx(c, t).h(t);
+        }
+        Gate::CY => {
+            let (c, t) = (q(inst, 0), q(inst, 1));
+            out.sdg(t).cx(c, t).s(t);
+        }
+        Gate::CH => {
+            // ch(c,t) = (S·H·T)ₜ · CX · (T†·H†·S†)ₜ pattern; verified by the
+            // unitary-equivalence tests below.
+            let (c, t) = (q(inst, 0), q(inst, 1));
+            out.s(t).h(t).t(t).cx(c, t).tdg(t).h(t).sdg(t);
+        }
+        Gate::CP(a) => {
+            let (c, t) = (q(inst, 0), q(inst, 1));
+            emit_cp(out, *a, c, t);
+        }
+        Gate::CRz(a) => {
+            let (c, t) = (q(inst, 0), q(inst, 1));
+            out.rz(a / 2.0, t).cx(c, t).rz(-a / 2.0, t).cx(c, t);
+        }
+        Gate::Swap => {
+            let (a, b) = (q(inst, 0), q(inst, 1));
+            out.cx(a, b).cx(b, a).cx(a, b);
+        }
+        Gate::CCX => {
+            let (c0, c1, t) = (q(inst, 0), q(inst, 1), q(inst, 2));
+            emit_ccx(out, c0, c1, t);
+        }
+        Gate::CSwap => {
+            let (c, a, b) = (q(inst, 0), q(inst, 1), q(inst, 2));
+            out.cx(b, a);
+            emit_ccx(out, c, a, b);
+            out.cx(b, a);
+        }
+        Gate::Mcx(_) => {
+            let ops = inst.qubits();
+            let controls: Vec<u32> = ops[..ops.len() - 1].iter().map(|x| x.raw()).collect();
+            let target = ops[ops.len() - 1].raw();
+            emit_mcx(out, &controls, target);
+        }
+        other => {
+            // All variants are covered above; this is unreachable but kept
+            // as a defensive copy for future gate-set growth.
+            let _ = other;
+            out.push(inst.clone()).expect("same register");
+        }
+    }
+}
+
+/// Standard 6-CX, T-depth-3 Toffoli decomposition.
+fn emit_ccx(out: &mut Circuit, c0: u32, c1: u32, t: u32) {
+    out.h(t)
+        .cx(c1, t)
+        .tdg(t)
+        .cx(c0, t)
+        .t(t)
+        .cx(c1, t)
+        .tdg(t)
+        .cx(c0, t)
+        .t(c1)
+        .t(t)
+        .h(t)
+        .cx(c0, c1)
+        .t(c0)
+        .tdg(c1)
+        .cx(c0, c1);
+}
+
+/// Controlled-phase via two CX and three phase gates.
+fn emit_cp(out: &mut Circuit, lambda: f64, c: u32, t: u32) {
+    out.p(lambda / 2.0, c)
+        .cx(c, t)
+        .p(-lambda / 2.0, t)
+        .cx(c, t)
+        .p(lambda / 2.0, t);
+}
+
+/// Multi-controlled X without ancillas: `C^k X = H(t) · C^k Z · H(t)`, and
+/// `C^k Z = C^k P(π)` by the recursive halving construction
+/// (`C^k P(λ) = CP(λ/2) on (c_k, t) · C^{k-1}X · CP(-λ/2) · C^{k-1}X ·
+/// C^{k-1}P(λ/2)`), which bottoms out at plain CP. Gate count is O(2ᵏ) —
+/// exactly the cost profile that makes large MCT gates expensive on
+/// hardware.
+fn emit_mcx(out: &mut Circuit, controls: &[u32], target: u32) {
+    match controls.len() {
+        0 => {
+            out.x(target);
+        }
+        1 => {
+            out.cx(controls[0], target);
+        }
+        2 => emit_ccx(out, controls[0], controls[1], target),
+        _ => {
+            out.h(target);
+            emit_mcp(out, PI, controls, target);
+            out.h(target);
+        }
+    }
+}
+
+fn emit_mcp(out: &mut Circuit, lambda: f64, controls: &[u32], target: u32) {
+    match controls.len() {
+        0 => {
+            out.p(lambda, target);
+        }
+        1 => emit_cp(out, lambda, controls[0], target),
+        _ => {
+            let (rest, last) = controls.split_at(controls.len() - 1);
+            let last = last[0];
+            emit_cp(out, lambda / 2.0, last, target);
+            emit_mcx(out, rest, last);
+            emit_cp(out, -lambda / 2.0, last, target);
+            emit_mcx(out, rest, last);
+            emit_mcp(out, lambda / 2.0, rest, target);
+        }
+    }
+}
+
+/// Translates a single-qubit gate into its `U(θ, φ, λ)` parameters (up to
+/// global phase).
+///
+/// Returns `None` for multi-qubit gates.
+pub fn to_u_params(gate: &Gate) -> Option<(f64, f64, f64)> {
+    Some(match gate {
+        Gate::I => (0.0, 0.0, 0.0),
+        Gate::X => (PI, 0.0, PI),
+        Gate::Y => (PI, FRAC_PI_2, FRAC_PI_2),
+        Gate::Z => (0.0, 0.0, PI),
+        Gate::H => (FRAC_PI_2, 0.0, PI),
+        Gate::S => (0.0, 0.0, FRAC_PI_2),
+        Gate::Sdg => (0.0, 0.0, -FRAC_PI_2),
+        Gate::T => (0.0, 0.0, PI / 4.0),
+        Gate::Tdg => (0.0, 0.0, -PI / 4.0),
+        Gate::Sx => (FRAC_PI_2, -FRAC_PI_2, FRAC_PI_2),
+        Gate::Sxdg => (FRAC_PI_2, FRAC_PI_2, -FRAC_PI_2),
+        Gate::Rx(a) => (*a, -FRAC_PI_2, FRAC_PI_2),
+        Gate::Ry(a) => (*a, 0.0, 0.0),
+        Gate::Rz(a) => (0.0, 0.0, *a),
+        Gate::P(a) => (0.0, 0.0, *a),
+        Gate::U(t, p, l) => (*t, *p, *l),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::matrix::gate_matrix;
+    use qsim::unitary::equivalent_up_to_phase;
+
+    const EPS: f64 = 1e-9;
+
+    fn check_equiv(original: &Circuit) {
+        let lowered = decompose_to_cx(original);
+        assert!(
+            lowered
+                .iter()
+                .all(|i| i.gate().arity() == 1 || i.gate() == &Gate::CX),
+            "decomposition left a non-CX multi-qubit gate"
+        );
+        assert!(
+            equivalent_up_to_phase(original, &lowered, EPS).unwrap(),
+            "decomposition changed the unitary of {}",
+            original.name()
+        );
+    }
+
+    #[test]
+    fn ccx_decomposition_correct() {
+        let mut c = Circuit::with_name(3, "ccx");
+        c.ccx(0, 1, 2);
+        check_equiv(&c);
+        let mut c = Circuit::with_name(3, "ccx_perm");
+        c.ccx(2, 0, 1);
+        check_equiv(&c);
+    }
+
+    #[test]
+    fn two_qubit_decompositions_correct() {
+        for (name, gate) in [
+            ("cz", Gate::CZ),
+            ("cy", Gate::CY),
+            ("ch", Gate::CH),
+            ("swap", Gate::Swap),
+            ("cp", Gate::CP(0.73)),
+            ("crz", Gate::CRz(-1.1)),
+        ] {
+            let mut c = Circuit::with_name(2, name);
+            c.append(gate, &[0, 1]).unwrap();
+            check_equiv(&c);
+        }
+    }
+
+    #[test]
+    fn cswap_decomposition_correct() {
+        let mut c = Circuit::with_name(3, "cswap");
+        c.cswap(0, 1, 2);
+        check_equiv(&c);
+    }
+
+    #[test]
+    fn mcx_decompositions_correct() {
+        for controls in 3..=5u32 {
+            let n = controls + 1;
+            let mut c = Circuit::with_name(n, format!("mcx{controls}"));
+            let control_list: Vec<u32> = (0..controls).collect();
+            c.mcx(&control_list, controls);
+            check_equiv(&c);
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_pass_through() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).rz(0.3, 0);
+        let lowered = decompose_to_cx(&c);
+        assert_eq!(lowered.gate_count(), 3);
+    }
+
+    #[test]
+    fn identity_gates_dropped() {
+        let mut c = Circuit::new(1);
+        c.append(Gate::I, &[0]).unwrap();
+        let lowered = decompose_to_cx(&c);
+        assert!(lowered.is_empty());
+    }
+
+    #[test]
+    fn mixed_circuit_roundtrip() {
+        let mut c = Circuit::with_name(4, "mixed");
+        c.h(0).ccx(0, 1, 2).swap(2, 3).cp(0.4, 0, 3).mcx(&[0, 1, 2], 3);
+        check_equiv(&c);
+    }
+
+    #[test]
+    fn u_params_match_gate_matrices() {
+        let gates = [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Rx(0.37),
+            Gate::Ry(1.2),
+            Gate::Rz(-0.8),
+            Gate::P(0.55),
+        ];
+        for g in gates {
+            let (t, p, l) = to_u_params(&g).unwrap();
+            let u = gate_matrix(&Gate::U(t, p, l));
+            let m = gate_matrix(&g);
+            assert!(
+                u.approx_eq_up_to_phase(&m, 1e-12),
+                "u-params wrong for {g}"
+            );
+        }
+        assert!(to_u_params(&Gate::CX).is_none());
+    }
+}

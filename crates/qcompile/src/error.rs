@@ -1,0 +1,87 @@
+//! Transpiler error types.
+
+use std::fmt;
+
+/// Errors raised by the transpilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The logical circuit needs more qubits than the device has.
+    CircuitTooLarge {
+        /// Logical qubits required.
+        required: u32,
+        /// Physical qubits available.
+        available: u32,
+    },
+    /// The coupling map is disconnected and a two-qubit gate cannot be
+    /// routed between its operands.
+    Unroutable {
+        /// First physical qubit.
+        a: u32,
+        /// Second physical qubit.
+        b: u32,
+    },
+    /// A gate survived decomposition that the target basis cannot express.
+    UnsupportedGate(String),
+    /// An internal circuit manipulation failed.
+    Circuit(qcir::CircuitError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::CircuitTooLarge {
+                required,
+                available,
+            } => write!(
+                f,
+                "circuit needs {required} qubits but device has {available}"
+            ),
+            CompileError::Unroutable { a, b } => {
+                write!(f, "no coupling path between physical qubits {a} and {b}")
+            }
+            CompileError::UnsupportedGate(gate) => {
+                write!(f, "gate {gate} not supported by target basis")
+            }
+            CompileError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qcir::CircuitError> for CompileError {
+    fn from(e: qcir::CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = CompileError::CircuitTooLarge {
+            required: 7,
+            available: 5,
+        };
+        assert!(e.to_string().contains("7"));
+        let e = CompileError::Unroutable { a: 0, b: 4 };
+        assert!(e.to_string().contains("0"));
+    }
+
+    #[test]
+    fn from_circuit_error() {
+        let inner = qcir::CircuitError::Invalid("x".into());
+        let e: CompileError = inner.into();
+        assert!(matches!(e, CompileError::Circuit(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

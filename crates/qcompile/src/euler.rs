@@ -1,0 +1,224 @@
+//! Euler-angle synthesis of single-qubit unitaries.
+//!
+//! Provides the two directions the basis translator and optimizer need:
+//!
+//! * [`matrix_to_u`] — extract `U(θ, φ, λ)` parameters from an arbitrary
+//!   2×2 unitary (ZYZ decomposition), used to collapse runs of single-qubit
+//!   gates into one gate.
+//! * [`u_to_zsx`] — rewrite `U(θ, φ, λ)` into the IBM-native
+//!   `RZ·SX·RZ·SX·RZ` sequence, used for final basis translation.
+
+use qcir::Gate;
+use qsim::matrix::{gate_matrix, Matrix};
+use std::f64::consts::PI;
+
+/// Extracts `(θ, φ, λ)` such that `U(θ, φ, λ)` equals `m` up to global
+/// phase.
+///
+/// # Panics
+///
+/// Panics if `m` is not 2×2.
+pub fn matrix_to_u(m: &Matrix) -> (f64, f64, f64) {
+    assert_eq!(m.dim(), 2, "euler synthesis needs a single-qubit matrix");
+    let u00 = m.get(0, 0);
+    let u01 = m.get(0, 1);
+    let u10 = m.get(1, 0);
+    let u11 = m.get(1, 1);
+
+    let c = u00.abs().clamp(0.0, 1.0);
+    let theta = 2.0 * c.acos();
+
+    if u00.abs() > 1e-12 && u10.abs() > 1e-12 {
+        // Generic case: strip the global phase arg(u00).
+        let g = u00.arg();
+        let phi = u10.arg() - g;
+        let lambda = (-u01).arg() - g;
+        (theta, phi, lambda)
+    } else if u00.abs() <= 1e-12 {
+        // θ = π: only u01, u10 nonzero. U = [[0, -e^{iλ}],[e^{iφ}, 0]].
+        // Only φ - λ... actually with θ=π: u10 = e^{iφ} sin(π/2) = e^{iφ},
+        // u01 = -e^{iλ}. Global phase free; pin λ = 0.
+        let phi = u10.arg() - (-u01).arg();
+        (PI, phi, 0.0)
+    } else {
+        // θ = 0: diagonal. U = diag(1, e^{i(φ+λ)}) up to phase; pin φ = 0.
+        let lambda = u11.arg() - u00.arg();
+        (0.0, 0.0, lambda)
+    }
+}
+
+/// Rewrites `U(θ, φ, λ)` as the native-basis sequence
+/// `RZ(φ+π) · SX · RZ(θ+π) · SX · RZ(λ)` (applied right-to-left, i.e. the
+/// returned vector is in application order starting with `RZ(λ)`).
+///
+/// Degenerate cases collapse: θ ≈ 0 emits a single RZ; θ ≈ ±π/2 emits the
+/// one-SX form `RZ(φ+π/2)·SX·RZ(λ+π/2)` when applicable.
+pub fn u_to_zsx(theta: f64, phi: f64, lambda: f64) -> Vec<Gate> {
+    let tau = 2.0 * PI;
+    let norm = |a: f64| {
+        let mut x = a % tau;
+        if x > PI {
+            x -= tau;
+        }
+        if x < -PI {
+            x += tau;
+        }
+        x
+    };
+    let theta_n = norm(theta);
+    if theta_n.abs() < 1e-12 {
+        let total = norm(phi + lambda);
+        if total.abs() < 1e-12 {
+            return Vec::new();
+        }
+        return vec![Gate::Rz(total)];
+    }
+    if (theta_n - PI / 2.0).abs() < 1e-12 {
+        // U(π/2, φ, λ) = e^{iδ} RZ(φ+π/2)·SX·RZ(λ+π/2)... pin via identity.
+        return vec![
+            Gate::Rz(norm(lambda - PI / 2.0)),
+            Gate::Sx,
+            Gate::Rz(norm(phi + PI / 2.0)),
+        ];
+    }
+    vec![
+        Gate::Rz(norm(lambda)),
+        Gate::Sx,
+        Gate::Rz(norm(theta + PI)),
+        Gate::Sx,
+        Gate::Rz(norm(phi + 3.0 * PI)),
+    ]
+}
+
+/// Convenience: synthesizes a matrix directly into native-basis gates.
+pub fn matrix_to_zsx(m: &Matrix) -> Vec<Gate> {
+    let (t, p, l) = matrix_to_u(m);
+    u_to_zsx(t, p, l)
+}
+
+/// Multiplies a gate sequence (application order) into a single 2×2 matrix.
+///
+/// # Panics
+///
+/// Panics if any gate is not single-qubit.
+pub fn sequence_matrix(gates: &[Gate]) -> Matrix {
+    let mut acc = Matrix::identity(2);
+    for g in gates {
+        assert_eq!(g.arity(), 1, "sequence_matrix needs 1q gates");
+        acc = gate_matrix(g).mul(&acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    fn check_roundtrip(g: &Gate) {
+        let m = gate_matrix(g);
+        let (t, p, l) = matrix_to_u(&m);
+        let back = gate_matrix(&Gate::U(t, p, l));
+        assert!(
+            back.approx_eq_up_to_phase(&m, EPS),
+            "matrix_to_u failed for {g}: got ({t}, {p}, {l})"
+        );
+    }
+
+    #[test]
+    fn matrix_to_u_roundtrips_standard_gates() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.3),
+            Gate::Rz(2.1),
+            Gate::P(0.4),
+            Gate::U(0.3, 1.1, -0.6),
+        ] {
+            check_roundtrip(&g);
+        }
+    }
+
+    #[test]
+    fn zsx_translation_is_exact_up_to_phase() {
+        let cases = [
+            (0.0, 0.0, 0.0),
+            (PI, 0.0, PI),          // X
+            (PI / 2.0, 0.0, PI),    // H
+            (0.3, 0.8, -0.5),
+            (2.5, -1.0, 0.9),
+            (PI / 2.0, -PI / 2.0, PI / 2.0), // SX itself
+            (0.0, 0.0, 0.7),        // pure phase
+        ];
+        for (t, p, l) in cases {
+            let target = gate_matrix(&Gate::U(t, p, l));
+            let seq = u_to_zsx(t, p, l);
+            let got = sequence_matrix(&seq);
+            assert!(
+                got.approx_eq_up_to_phase(&target, EPS),
+                "zsx wrong for U({t}, {p}, {l}); seq = {seq:?}"
+            );
+            assert!(seq.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn zsx_identity_is_empty() {
+        assert!(u_to_zsx(0.0, 0.0, 0.0).is_empty());
+        assert!(u_to_zsx(0.0, 0.4, -0.4).is_empty());
+    }
+
+    #[test]
+    fn zsx_diagonal_is_single_rz() {
+        let seq = u_to_zsx(0.0, 0.2, 0.3);
+        assert_eq!(seq.len(), 1);
+        assert!(matches!(seq[0], Gate::Rz(_)));
+    }
+
+    #[test]
+    fn zsx_uses_only_native_gates() {
+        let seq = u_to_zsx(1.1, 0.5, -2.2);
+        for g in &seq {
+            assert!(
+                matches!(g, Gate::Rz(_) | Gate::Sx),
+                "non-native gate {g} in zsx output"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_to_zsx_synthesizes_h() {
+        let h = gate_matrix(&Gate::H);
+        let seq = matrix_to_zsx(&h);
+        assert!(sequence_matrix(&seq).approx_eq_up_to_phase(&h, EPS));
+    }
+
+    #[test]
+    fn random_angle_sweep() {
+        // Deterministic pseudo-random sweep across the parameter space.
+        let mut x = 0.123_f64;
+        for _ in 0..50 {
+            x = (x * 9301.0 + 49297.0) % 233280.0;
+            let t = (x / 233280.0) * 2.0 * PI;
+            x = (x * 9301.0 + 49297.0) % 233280.0;
+            let p = (x / 233280.0) * 2.0 * PI - PI;
+            x = (x * 9301.0 + 49297.0) % 233280.0;
+            let l = (x / 233280.0) * 2.0 * PI - PI;
+            let target = gate_matrix(&Gate::U(t, p, l));
+            let got = sequence_matrix(&u_to_zsx(t, p, l));
+            assert!(
+                got.approx_eq_up_to_phase(&target, 1e-8),
+                "sweep failed at U({t}, {p}, {l})"
+            );
+        }
+    }
+}

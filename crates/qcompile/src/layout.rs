@@ -1,0 +1,272 @@
+//! Initial layout selection: mapping logical circuit qubits onto physical
+//! device qubits.
+
+use crate::coupling::DistanceMap;
+use crate::error::CompileError;
+use qcir::Circuit;
+use qsim::Device;
+
+/// A bijective (partial, on the logical side) map from logical qubits to
+/// physical qubits.
+///
+/// # Example
+///
+/// ```
+/// use qcompile::layout::Layout;
+///
+/// let layout = Layout::trivial(3, 5);
+/// assert_eq!(layout.physical(2), 2);
+/// assert_eq!(layout.logical(2), Some(2));
+/// assert_eq!(layout.logical(4), None); // unused physical qubit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// to_physical[logical] = physical.
+    to_physical: Vec<u32>,
+    num_physical: u32,
+}
+
+impl Layout {
+    /// Identity layout: logical `i` → physical `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is smaller than the circuit.
+    pub fn trivial(num_logical: u32, num_physical: u32) -> Self {
+        assert!(num_logical <= num_physical, "device too small");
+        Layout {
+            to_physical: (0..num_logical).collect(),
+            num_physical,
+        }
+    }
+
+    /// Builds a layout from an explicit logical→physical table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::CircuitTooLarge`] if the table is larger than
+    /// the device or [`CompileError::UnsupportedGate`]-free validation
+    /// failures as `Circuit` errors for duplicates/out-of-range entries.
+    pub fn from_table(to_physical: Vec<u32>, num_physical: u32) -> Result<Self, CompileError> {
+        if to_physical.len() as u32 > num_physical {
+            return Err(CompileError::CircuitTooLarge {
+                required: to_physical.len() as u32,
+                available: num_physical,
+            });
+        }
+        let mut seen = vec![false; num_physical as usize];
+        for &p in &to_physical {
+            if p >= num_physical {
+                return Err(CompileError::Circuit(qcir::CircuitError::QubitOutOfRange {
+                    qubit: p,
+                    num_qubits: num_physical,
+                }));
+            }
+            if seen[p as usize] {
+                return Err(CompileError::Circuit(qcir::CircuitError::DuplicateQubit {
+                    qubit: p,
+                }));
+            }
+            seen[p as usize] = true;
+        }
+        Ok(Layout {
+            to_physical,
+            num_physical,
+        })
+    }
+
+    /// Number of logical qubits covered.
+    pub fn num_logical(&self) -> u32 {
+        self.to_physical.len() as u32
+    }
+
+    /// Number of physical qubits on the device.
+    pub fn num_physical(&self) -> u32 {
+        self.num_physical
+    }
+
+    /// Physical qubit hosting `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    pub fn physical(&self, logical: u32) -> u32 {
+        self.to_physical[logical as usize]
+    }
+
+    /// Logical qubit mapped to `physical`, if any.
+    pub fn logical(&self, physical: u32) -> Option<u32> {
+        self.to_physical
+            .iter()
+            .position(|&p| p == physical)
+            .map(|i| i as u32)
+    }
+
+    /// The raw logical→physical table.
+    pub fn table(&self) -> &[u32] {
+        &self.to_physical
+    }
+
+    /// Swaps the logical qubits held by two physical qubits (the routing
+    /// primitive: a SWAP gate updates the layout, not the data).
+    pub fn swap_physical(&mut self, a: u32, b: u32) {
+        for p in &mut self.to_physical {
+            if *p == a {
+                *p = b;
+            } else if *p == b {
+                *p = a;
+            }
+        }
+    }
+}
+
+/// Chooses an initial layout for `circuit` on `device` by greedy
+/// interaction matching: the most-interacting logical qubit goes to the
+/// highest-degree physical qubit, then each next logical qubit goes to the
+/// free physical qubit minimizing summed distance to its already-placed
+/// interaction partners.
+///
+/// # Errors
+///
+/// Returns [`CompileError::CircuitTooLarge`] if the device is smaller than
+/// the circuit.
+pub fn greedy_layout(
+    circuit: &Circuit,
+    device: &Device,
+    distances: &DistanceMap,
+) -> Result<Layout, CompileError> {
+    let nl = circuit.num_qubits() as usize;
+    let np = device.num_qubits() as usize;
+    if nl > np {
+        return Err(CompileError::CircuitTooLarge {
+            required: nl as u32,
+            available: np as u32,
+        });
+    }
+
+    // Interaction counts between logical pairs.
+    let mut weight = vec![0u32; nl * nl];
+    for inst in circuit.iter() {
+        let qs = inst.qubits();
+        for i in 0..qs.len() {
+            for j in i + 1..qs.len() {
+                let (a, b) = (qs[i].index(), qs[j].index());
+                weight[a * nl + b] += 1;
+                weight[b * nl + a] += 1;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..nl).collect();
+    let degree = |l: usize| -> u32 { (0..nl).map(|m| weight[l * nl + m]).sum() };
+    order.sort_by_key(|&l| std::cmp::Reverse(degree(l)));
+
+    let adjacency = device.adjacency();
+    let mut placed: Vec<Option<u32>> = vec![None; nl];
+    let mut used = vec![false; np];
+
+    for &l in &order {
+        // Candidate score: summed distance to placed partners (weighted).
+        let mut best: Option<(u64, u32)> = None;
+        for p in 0..np as u32 {
+            if used[p as usize] {
+                continue;
+            }
+            let mut score: u64 = 0;
+            let mut has_partner = false;
+            for m in 0..nl {
+                if weight[l * nl + m] > 0 {
+                    if let Some(pm) = placed[m] {
+                        has_partner = true;
+                        score += weight[l * nl + m] as u64 * distances.distance(p, pm) as u64;
+                    }
+                }
+            }
+            if !has_partner {
+                // No placed partners: prefer high-degree physical qubits.
+                score = u64::MAX - adjacency[p as usize].len() as u64;
+            }
+            if best.is_none_or(|(s, _)| score < s) {
+                best = Some((score, p));
+            }
+        }
+        let (_, p) = best.expect("device has enough qubits");
+        placed[l] = Some(p);
+        used[p as usize] = true;
+    }
+
+    let table: Vec<u32> = placed.into_iter().map(|p| p.expect("all placed")).collect();
+    Layout::from_table(table, np as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::noise::NoiseModel;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(3, 5);
+        for i in 0..3 {
+            assert_eq!(l.physical(i), i);
+        }
+        assert_eq!(l.num_logical(), 3);
+        assert_eq!(l.num_physical(), 5);
+    }
+
+    #[test]
+    fn from_table_validates() {
+        assert!(Layout::from_table(vec![0, 1, 2], 3).is_ok());
+        assert!(Layout::from_table(vec![0, 0], 3).is_err()); // duplicate
+        assert!(Layout::from_table(vec![0, 9], 3).is_err()); // out of range
+        assert!(Layout::from_table(vec![0, 1, 2, 3], 3).is_err()); // too large
+    }
+
+    #[test]
+    fn swap_physical_updates_mapping() {
+        let mut l = Layout::trivial(3, 3);
+        l.swap_physical(0, 2);
+        assert_eq!(l.physical(0), 2);
+        assert_eq!(l.physical(2), 0);
+        assert_eq!(l.physical(1), 1);
+        assert_eq!(l.logical(2), Some(0));
+    }
+
+    #[test]
+    fn greedy_layout_keeps_hot_pair_adjacent() {
+        // Circuit where qubits 0 and 3 interact heavily.
+        let mut c = Circuit::new(4);
+        for _ in 0..10 {
+            c.cx(0, 3);
+        }
+        c.cx(1, 2);
+        let dev = Device::fake_valencia();
+        let dm = DistanceMap::new(&dev).unwrap();
+        let layout = greedy_layout(&c, &dev, &dm).unwrap();
+        let d = dm.distance(layout.physical(0), layout.physical(3));
+        assert_eq!(d, 1, "hot pair not adjacent: layout {:?}", layout.table());
+    }
+
+    #[test]
+    fn greedy_layout_rejects_oversized() {
+        let c = Circuit::new(9);
+        let dev = Device::fake_valencia();
+        let dm = DistanceMap::new(&dev).unwrap();
+        assert!(matches!(
+            greedy_layout(&c, &dev, &dm),
+            Err(CompileError::CircuitTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn greedy_layout_is_injective() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).cx(0, 4);
+        let dev = Device::linear(8, NoiseModel::ideal());
+        let dm = DistanceMap::new(&dev).unwrap();
+        let layout = greedy_layout(&c, &dev, &dm).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for l in 0..5 {
+            assert!(seen.insert(layout.physical(l)));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # qcompile — a quantum transpiler
+//!
+//! The "untrusted compiler" substrate of the TetrisLock reproduction. The
+//! paper's threat model assumes circuits are handed to third-party
+//! compilers (Qiskit, TKET, …) that map them to hardware; this crate
+//! implements an equivalent pipeline from scratch:
+//!
+//! * [`decompose`] — lower CCX/MCX/SWAP/controlled gates to {1q, CX};
+//! * [`layout`] — trivial and greedy interaction-based initial placement;
+//! * [`routing`] — SABRE-style SWAP insertion over a device coupling map;
+//! * [`euler`] — ZYZ/ZSX single-qubit synthesis;
+//! * [`optimize`] — inverse-pair cancellation, rotation merging and 1q
+//!   resynthesis (the passes an adversarial compiler would use to strip a
+//!   naive `R⁻¹R` insertion);
+//! * [`Transpiler`] — the end-to-end pipeline with optimization levels.
+//!
+//! # Example
+//!
+//! ```
+//! use qcir::Circuit;
+//! use qsim::Device;
+//! use qcompile::Transpiler;
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0).ccx(0, 1, 2);
+//! let out = Transpiler::new(Device::fake_valencia()).transpile(&c)?;
+//! assert!(qcompile::transpiler::conforms_to_device(&out.circuit, &Device::fake_valencia()));
+//! # Ok::<(), qcompile::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coupling;
+pub mod decompose;
+pub mod error;
+pub mod euler;
+pub mod layout;
+pub mod optimize;
+pub mod routing;
+pub mod schedule;
+pub mod transpiler;
+
+pub use error::CompileError;
+pub use layout::Layout;
+pub use transpiler::{OptimizationLevel, Transpiled, Transpiler};

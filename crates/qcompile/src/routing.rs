@@ -1,0 +1,325 @@
+//! SABRE-style SWAP routing.
+//!
+//! Inserts SWAP gates so that every two-qubit gate acts on physically
+//! coupled qubits. The heuristic follows SABRE (Li, Ding & Xie, ASPLOS'19)
+//! in spirit: maintain the front layer of blocked gates, score candidate
+//! SWAPs by the distance reduction over the front layer plus a decayed
+//! lookahead window, commit the best, repeat.
+
+use crate::coupling::DistanceMap;
+use crate::error::CompileError;
+use crate::layout::Layout;
+use qcir::{Circuit, Gate, Instruction, Qubit};
+
+/// Result of routing: a physical-wire circuit plus the initial and final
+/// layouts (the final layout tells the caller which physical wire holds
+/// each logical qubit at the end — needed to interpret measurements).
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// Circuit over physical wires, containing only gates whose multi-qubit
+    /// operands are coupled.
+    pub circuit: Circuit,
+    /// Layout at circuit start.
+    pub initial_layout: Layout,
+    /// Layout after all inserted SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Weight of the lookahead window in the SABRE score.
+const LOOKAHEAD_WEIGHT: f64 = 0.5;
+/// Size of the lookahead window (gates beyond the front layer).
+const LOOKAHEAD_WINDOW: usize = 20;
+
+/// Routes `circuit` (logical wires, gates of arity ≤ 2) onto the device
+/// described by `distances`, starting from `layout`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnsupportedGate`] if a gate of arity ≥ 3 is
+/// present (run [`crate::decompose::decompose_to_cx`] first).
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qsim::Device;
+/// use qcompile::{coupling::DistanceMap, layout::Layout, routing::route};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 2); // 0 and 2 are not coupled on Valencia
+/// let dev = Device::fake_valencia();
+/// let dm = DistanceMap::new(&dev)?;
+/// let routed = route(&c, Layout::trivial(3, 5), &dm)?;
+/// assert!(routed.swaps_inserted >= 1);
+/// # Ok::<(), qcompile::CompileError>(())
+/// ```
+pub fn route(
+    circuit: &Circuit,
+    layout: Layout,
+    distances: &DistanceMap,
+) -> Result<Routed, CompileError> {
+    for inst in circuit.iter() {
+        if inst.gate().arity() > 2 {
+            return Err(CompileError::UnsupportedGate(format!(
+                "{} (decompose before routing)",
+                inst.gate()
+            )));
+        }
+    }
+
+    let num_physical = layout.num_physical();
+    let mut out = Circuit::with_name(num_physical, circuit.name());
+    let initial_layout = layout.clone();
+    let mut layout = layout;
+    let mut swaps_inserted = 0usize;
+
+    // Remaining gates in program order; `cursor` advances as gates commit.
+    let gates: Vec<&Instruction> = circuit.iter().collect();
+    let mut scheduled = vec![false; gates.len()];
+    let mut cursor = 0usize;
+
+    // Per-wire program order: gate i blocks gate j>i if they share a wire.
+    // A gate is "ready" when all earlier gates on its wires are scheduled.
+    let last_unscheduled_before = |idx: usize, scheduled: &[bool]| -> bool {
+        let qs = gates[idx].qubits();
+        for j in (0..idx).rev() {
+            if scheduled[j] {
+                continue;
+            }
+            if gates[j].qubits().iter().any(|q| qs.contains(q)) {
+                return true;
+            }
+        }
+        false
+    };
+
+    loop {
+        // Commit every ready gate that is executable under the current
+        // layout.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for idx in cursor..gates.len() {
+                if scheduled[idx] || last_unscheduled_before(idx, &scheduled) {
+                    continue;
+                }
+                let inst = gates[idx];
+                let executable = match inst.qubits() {
+                    [a, b] => {
+                        let pa = layout.physical(a.raw());
+                        let pb = layout.physical(b.raw());
+                        distances.distance(pa, pb) == 1
+                    }
+                    _ => true, // single-qubit gates always execute
+                };
+                if executable {
+                    let mapped: Vec<Qubit> = inst
+                        .qubits()
+                        .iter()
+                        .map(|q| Qubit::new(layout.physical(q.raw())))
+                        .collect();
+                    out.push(
+                        Instruction::new(inst.gate().clone(), mapped)
+                            .expect("mapped instruction valid"),
+                    )?;
+                    scheduled[idx] = true;
+                    progressed = true;
+                }
+            }
+            while cursor < gates.len() && scheduled[cursor] {
+                cursor += 1;
+            }
+        }
+
+        if cursor >= gates.len() {
+            break;
+        }
+
+        // Front layer: ready but blocked two-qubit gates.
+        let front: Vec<usize> = (cursor..gates.len())
+            .filter(|&idx| {
+                !scheduled[idx]
+                    && gates[idx].qubits().len() == 2
+                    && !last_unscheduled_before(idx, &scheduled)
+            })
+            .collect();
+        debug_assert!(!front.is_empty(), "stalled with no blocked 2q gates");
+
+        // Lookahead window: next unscheduled 2q gates after the front.
+        let lookahead: Vec<usize> = (cursor..gates.len())
+            .filter(|&idx| !scheduled[idx] && gates[idx].qubits().len() == 2)
+            .take(LOOKAHEAD_WINDOW)
+            .collect();
+
+        // Candidate SWAPs: physical edges touching a front-layer operand.
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        for &idx in &front {
+            for q in gates[idx].qubits() {
+                let p = layout.physical(q.raw());
+                for other in 0..num_physical {
+                    if other != p && distances.distance(p, other) == 1 {
+                        let edge = (p.min(other), p.max(other));
+                        if !candidates.contains(&edge) {
+                            candidates.push(edge);
+                        }
+                    }
+                }
+            }
+        }
+
+        let score = |layout: &Layout| -> f64 {
+            let front_cost: u32 = front
+                .iter()
+                .map(|&idx| {
+                    let qs = gates[idx].qubits();
+                    distances.distance(layout.physical(qs[0].raw()), layout.physical(qs[1].raw()))
+                })
+                .sum();
+            let look_cost: u32 = lookahead
+                .iter()
+                .map(|&idx| {
+                    let qs = gates[idx].qubits();
+                    distances.distance(layout.physical(qs[0].raw()), layout.physical(qs[1].raw()))
+                })
+                .sum();
+            front_cost as f64 + LOOKAHEAD_WEIGHT * look_cost as f64 / lookahead.len().max(1) as f64
+        };
+
+        let mut best: Option<(f64, (u32, u32))> = None;
+        for &(a, b) in &candidates {
+            let mut trial = layout.clone();
+            trial.swap_physical(a, b);
+            let s = score(&trial);
+            if best.is_none_or(|(bs, _)| s < bs) {
+                best = Some((s, (a, b)));
+            }
+        }
+        let (_, (a, b)) = best.expect("candidate set nonempty");
+        out.append(Gate::Swap, &[a, b])?;
+        layout.swap_physical(a, b);
+        swaps_inserted += 1;
+    }
+
+    Ok(Routed {
+        circuit: out,
+        initial_layout,
+        final_layout: layout,
+        swaps_inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::noise::NoiseModel;
+    use qsim::Device;
+
+    fn valencia_map() -> DistanceMap {
+        DistanceMap::new(&Device::fake_valencia()).unwrap()
+    }
+
+    #[test]
+    fn coupled_gates_route_without_swaps() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 1).cx(1, 2).cx(1, 3).cx(3, 4);
+        let routed = route(&c, Layout::trivial(5, 5), &valencia_map()).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.gate_count(), 4);
+    }
+
+    #[test]
+    fn uncoupled_gate_inserts_swap() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 4); // distance 3 on Valencia
+        let routed = route(&c, Layout::trivial(5, 5), &valencia_map()).unwrap();
+        assert!(routed.swaps_inserted >= 2);
+        // Every 2q gate in the output must be on a coupled pair.
+        let dm = valencia_map();
+        for inst in routed.circuit.iter() {
+            if inst.qubits().len() == 2 {
+                let (a, b) = (inst.qubits()[0].raw(), inst.qubits()[1].raw());
+                assert_eq!(dm.distance(a, b), 1, "gate {inst} not on an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_preserves_functionality() {
+        use qsim::Statevector;
+        // GHZ-like circuit with a far pair.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(0, 1).x(2).cx(2, 3);
+        let dev = Device::linear(4, NoiseModel::ideal());
+        let dm = DistanceMap::new(&dev).unwrap();
+        let routed = route(&c, Layout::trivial(4, 4), &dm).unwrap();
+
+        // Logical result.
+        let logical = Statevector::from_circuit(&c).unwrap();
+        // Physical result: apply routed circuit, then undo the final
+        // permutation by swapping wires back.
+        let mut unpermute = routed.circuit.clone();
+        let fl = routed.final_layout.clone();
+        // Move each logical qubit back to its trivial position with swaps.
+        let mut pos: Vec<u32> = (0..4).map(|l| fl.physical(l)).collect();
+        for l in 0..4u32 {
+            let cur = pos[l as usize];
+            if cur != l {
+                unpermute.swap(cur, l);
+                // Track the displaced qubit.
+                for p in pos.iter_mut() {
+                    if *p == l {
+                        *p = cur;
+                        break;
+                    }
+                }
+                pos[l as usize] = l;
+            }
+        }
+        let physical = Statevector::from_circuit(&unpermute).unwrap();
+        assert!(
+            logical.approx_eq_up_to_phase(&physical, 1e-9),
+            "routing changed the computation"
+        );
+    }
+
+    #[test]
+    fn rejects_unlowered_gates() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let err = route(&c, Layout::trivial(3, 5), &valencia_map()).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedGate(_)));
+    }
+
+    #[test]
+    fn single_qubit_circuit_untouched() {
+        let mut c = Circuit::new(3);
+        c.h(0).x(1).rz(0.4, 2);
+        let routed = route(&c, Layout::trivial(3, 5), &valencia_map()).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.gate_count(), 3);
+        assert_eq!(routed.final_layout, routed.initial_layout);
+    }
+
+    #[test]
+    fn dense_circuit_routes_on_line() {
+        let mut c = Circuit::new(5);
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    c.cx(a, b);
+                }
+            }
+        }
+        let dev = Device::linear(5, NoiseModel::ideal());
+        let dm = DistanceMap::new(&dev).unwrap();
+        let routed = route(&c, Layout::trivial(5, 5), &dm).unwrap();
+        for inst in routed.circuit.iter() {
+            if inst.qubits().len() == 2 {
+                let (a, b) = (inst.qubits()[0].raw(), inst.qubits()[1].raw());
+                assert_eq!(dm.distance(a, b), 1);
+            }
+        }
+    }
+}

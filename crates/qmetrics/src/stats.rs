@@ -1,0 +1,110 @@
+//! Iteration statistics (Table I values are 20-iteration averages).
+
+/// Summary statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Summarizes a slice of samples.
+///
+/// Returns a zeroed summary for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use qmetrics::stats::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// assert!((s.std - 1.0).abs() < 1e-12);
+/// ```
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    }
+}
+
+/// Relative change `(after − before) / before` in percent, the form of
+/// Table I's "gate change (%)" and "accuracy change (%)" columns.
+///
+/// Returns 0 when `before` is 0.
+pub fn percent_change(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        (after - before) / before * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[5.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn percent_change_cases() {
+        assert!((percent_change(10.0, 12.0) - 20.0).abs() < 1e-12);
+        assert!((percent_change(0.974, 0.974)).abs() < 1e-12);
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+        assert!((percent_change(4.0, 6.7) - 67.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,425 @@
+//! Density-matrix simulation (exact noisy reference).
+//!
+//! The shot sampler in [`crate::sampler`] treats noise with Monte-Carlo
+//! Pauli trajectories. This module provides the *exact* counterpart: the
+//! full density matrix evolved through unitaries and noise channels. It
+//! is exponentially more expensive (4ⁿ entries) and capped at small
+//! registers, but it lets the test-suite verify that the trajectory
+//! sampler converges to the true distribution — the kind of
+//! cross-validation a simulation paper's reviewers would ask for.
+
+use crate::complex::C64;
+use crate::error::SimError;
+use crate::matrix::{gate_matrix, Matrix};
+use crate::noise::NoiseModel;
+use qcir::{Circuit, Gate, Instruction, Qubit};
+
+/// Maximum register size for density-matrix simulation (4⁸ = 65536
+/// entries per state is still cheap; beyond ~10 the matrices get heavy).
+pub const MAX_DENSITY_QUBITS: u32 = 8;
+
+/// An n-qubit mixed state ρ as a dense `2ⁿ × 2ⁿ` complex matrix.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qsim::density::DensityMatrix;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut rho = DensityMatrix::zero(2)?;
+/// rho.apply_circuit(&bell)?;
+/// let probs = rho.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12);
+/// assert!((probs[3] - 0.5).abs() < 1e-12);
+/// # Ok::<(), qsim::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMatrix {
+    num_qubits: u32,
+    dim: usize,
+    /// Row-major dense storage, `rho[r * dim + c]`.
+    data: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// Creates `|0…0⟩⟨0…0|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_DENSITY_QUBITS`].
+    pub fn zero(num_qubits: u32) -> Result<Self, SimError> {
+        if num_qubits == 0 || num_qubits > MAX_DENSITY_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_DENSITY_QUBITS,
+            });
+        }
+        let dim = 1usize << num_qubits;
+        let mut data = vec![C64::ZERO; dim * dim];
+        data[0] = C64::ONE;
+        Ok(DensityMatrix {
+            num_qubits,
+            dim,
+            data,
+        })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// ρ entry at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> C64 {
+        self.data[row * self.dim + col]
+    }
+
+    /// Trace of ρ (1.0 for any physical state).
+    pub fn trace(&self) -> C64 {
+        (0..self.dim).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Purity `Tr(ρ²)`: 1 for pure states, `1/2ⁿ` for the maximally
+    /// mixed state.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                // Tr(ρ²) = Σ_{r,c} ρ_{rc} ρ_{cr}; with ρ Hermitian this is
+                // Σ |ρ_{rc}|².
+                acc += (self.get(r, c) * self.get(c, r)).re;
+            }
+        }
+        acc
+    }
+
+    /// Computational-basis probabilities (the diagonal).
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.get(i, i).re).collect()
+    }
+
+    /// Applies a unitary instruction: `ρ → UρU†`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitMismatch`] for out-of-range operands.
+    pub fn apply(&mut self, inst: &Instruction) -> Result<(), SimError> {
+        for q in inst.qubits() {
+            if q.raw() >= self.num_qubits {
+                return Err(SimError::QubitMismatch {
+                    circuit: q.raw() + 1,
+                    state: self.num_qubits,
+                });
+            }
+        }
+        let u = gate_matrix(inst.gate());
+        self.conjugate(&u, inst.qubits());
+        Ok(())
+    }
+
+    /// Applies all gates of `circuit` (no noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitMismatch`] if the circuit is larger than
+    /// the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimError::QubitMismatch {
+                circuit: circuit.num_qubits(),
+                state: self.num_qubits,
+            });
+        }
+        for inst in circuit.iter() {
+            self.apply(inst)?;
+        }
+        Ok(())
+    }
+
+    /// Applies `circuit` with the exact channel semantics of `noise`: a
+    /// per-gate depolarizing-style channel matching
+    /// [`NoiseModel::sample_gate_error`] (with probability `p` one
+    /// uniformly chosen operand suffers a uniformly chosen Pauli),
+    /// followed by the readout channel on the diagonal (see
+    /// [`DensityMatrix::readout_probabilities`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DensityMatrix::apply_circuit`].
+    pub fn apply_circuit_noisy(
+        &mut self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+    ) -> Result<(), SimError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimError::QubitMismatch {
+                circuit: circuit.num_qubits(),
+                state: self.num_qubits,
+            });
+        }
+        for inst in circuit.iter() {
+            self.apply(inst)?;
+            let arity = inst.gate().arity();
+            let p = noise.gate_error(arity);
+            if p > 0.0 {
+                // Mixture: (1-p)·ρ + p · uniform over (operand, pauli).
+                let share = p / (arity as f64 * 3.0);
+                let mut mixed = self.scaled(1.0 - p);
+                for q in inst.qubits() {
+                    for pauli in [Gate::X, Gate::Y, Gate::Z] {
+                        let mut branch = self.clone();
+                        branch.conjugate(&gate_matrix(&pauli), &[*q]);
+                        mixed.add_scaled(&branch, share);
+                    }
+                }
+                *self = mixed;
+            }
+        }
+        Ok(())
+    }
+
+    /// Measurement distribution including readout error: the diagonal of
+    /// ρ pushed through the per-qubit confusion matrices.
+    pub fn readout_probabilities(&self, noise: &NoiseModel) -> Vec<f64> {
+        let mut probs = self.probabilities();
+        for q in 0..self.num_qubits as usize {
+            let err = noise.readout_for(q);
+            if err.p0_given_1 == 0.0 && err.p1_given_0 == 0.0 {
+                continue;
+            }
+            let bit = 1usize << q;
+            let mut next = vec![0.0f64; probs.len()];
+            for (i, &p) in probs.iter().enumerate() {
+                if i & bit == 0 {
+                    next[i] += p * (1.0 - err.p1_given_0);
+                    next[i | bit] += p * err.p1_given_0;
+                } else {
+                    next[i] += p * (1.0 - err.p0_given_1);
+                    next[i & !bit] += p * err.p0_given_1;
+                }
+            }
+            probs = next;
+        }
+        probs
+    }
+
+    /// ρ ← U ρ U† with `u` acting on the given operand qubits
+    /// (little-endian operand order, matching [`gate_matrix`]).
+    fn conjugate(&mut self, u: &Matrix, qubits: &[Qubit]) {
+        let k = qubits.len();
+        let sub = 1usize << k;
+        debug_assert_eq!(u.dim(), sub);
+        let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
+        let mask: usize = bits.iter().sum();
+
+        let index_of = |base: usize, pattern: usize| -> usize {
+            let mut idx = base;
+            for (b, bit) in bits.iter().enumerate() {
+                if pattern & (1 << b) != 0 {
+                    idx |= bit;
+                }
+            }
+            idx
+        };
+
+        // Left multiply: rows mix. For each column c and each row-group.
+        let mut next = self.data.clone();
+        for col in 0..self.dim {
+            for base in 0..self.dim {
+                if base & mask != 0 {
+                    continue;
+                }
+                let mut gathered = vec![C64::ZERO; sub];
+                for (p, g) in gathered.iter_mut().enumerate() {
+                    *g = self.data[index_of(base, p) * self.dim + col];
+                }
+                for r in 0..sub {
+                    let mut acc = C64::ZERO;
+                    for (p, &g) in gathered.iter().enumerate() {
+                        acc += u.get(r, p) * g;
+                    }
+                    next[index_of(base, r) * self.dim + col] = acc;
+                }
+            }
+        }
+        // Right multiply by U†: columns mix with conjugated coefficients.
+        let mut out = next.clone();
+        for row in 0..self.dim {
+            for base in 0..self.dim {
+                if base & mask != 0 {
+                    continue;
+                }
+                let mut gathered = vec![C64::ZERO; sub];
+                for (p, g) in gathered.iter_mut().enumerate() {
+                    *g = next[row * self.dim + index_of(base, p)];
+                }
+                for c in 0..sub {
+                    let mut acc = C64::ZERO;
+                    for (p, &g) in gathered.iter().enumerate() {
+                        // (ρU†)_{row,c} = Σ_p ρ_{row,p} conj(U_{c,p})
+                        acc += g * u.get(c, p).conj();
+                    }
+                    out[row * self.dim + index_of(base, c)] = acc;
+                }
+            }
+        }
+        self.data = out;
+    }
+
+    fn scaled(&self, k: f64) -> DensityMatrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = v.scale(k);
+        }
+        out
+    }
+
+    fn add_scaled(&mut self, other: &DensityMatrix, k: f64) {
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b.scale(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseModel;
+    use crate::sampler::Sampler;
+    use crate::statevector::Statevector;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_pure_projector() {
+        let rho = DensityMatrix::zero(2).unwrap();
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+        assert_eq!(rho.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        assert!(DensityMatrix::zero(0).is_err());
+        assert!(DensityMatrix::zero(MAX_DENSITY_QUBITS + 1).is_err());
+    }
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).ccx(0, 1, 2).rz(0.4, 2).swap(0, 2);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        let mut rho = DensityMatrix::zero(3).unwrap();
+        rho.apply_circuit(&c).unwrap();
+        assert!((rho.trace().re - 1.0).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+        for (i, p) in sv.probabilities().iter().enumerate() {
+            assert!(
+                (rho.probabilities()[i] - p).abs() < EPS,
+                "diagonal mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_but_keeps_trace() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).x(1).cx(1, 0);
+        let noise = NoiseModel::builder()
+            .one_qubit_error(0.05)
+            .two_qubit_error(0.1)
+            .build();
+        let mut rho = DensityMatrix::zero(2).unwrap();
+        rho.apply_circuit_noisy(&c, &noise).unwrap();
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(rho.purity() < 1.0 - 1e-3, "purity = {}", rho.purity());
+    }
+
+    #[test]
+    fn readout_channel_conserves_probability() {
+        let mut rho = DensityMatrix::zero(3).unwrap();
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1);
+        rho.apply_circuit(&c).unwrap();
+        let noise = NoiseModel::builder().readout_error(0.1).build();
+        let probs = rho.readout_probabilities(&noise);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Readout error must leak mass into odd-parity outcomes.
+        assert!(probs[0b001] > 0.0);
+    }
+
+    #[test]
+    fn trajectory_sampler_converges_to_density_matrix() {
+        // The headline cross-validation: Monte-Carlo trajectories vs the
+        // exact channel, on a circuit mixing classical and quantum gates.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).x(2).ccx(0, 2, 1).t(1).cx(1, 2);
+        let noise = NoiseModel::builder()
+            .one_qubit_error(0.02)
+            .two_qubit_error(0.04)
+            .readout_error(0.03)
+            .build();
+
+        let mut rho = DensityMatrix::zero(3).unwrap();
+        rho.apply_circuit_noisy(&c, &noise).unwrap();
+        let exact = rho.readout_probabilities(&noise);
+
+        let counts = Sampler::new(60_000).with_seed(42).run_noisy(&c, &noise).unwrap();
+        for (i, &p) in exact.iter().enumerate() {
+            let empirical = counts.probability(i);
+            assert!(
+                (empirical - p).abs() < 0.01,
+                "outcome {i}: exact {p:.4} vs sampled {empirical:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn classical_fast_path_converges_to_density_matrix() {
+        // Same cross-validation for the classical bit-propagation path.
+        let bench_circuit = {
+            let mut c = Circuit::new(4);
+            c.x(0).cx(0, 1).ccx(0, 1, 2).mcx(&[0, 1, 2], 3).swap(2, 3);
+            c
+        };
+        let noise = NoiseModel::builder()
+            .one_qubit_error(0.03)
+            .two_qubit_error(0.05)
+            .readout_error(0.02)
+            .build();
+
+        let mut rho = DensityMatrix::zero(4).unwrap();
+        rho.apply_circuit_noisy(&bench_circuit, &noise).unwrap();
+        let exact = rho.readout_probabilities(&noise);
+
+        let counts = Sampler::new(60_000)
+            .with_seed(7)
+            .run_noisy(&bench_circuit, &noise)
+            .unwrap();
+        for (i, &p) in exact.iter().enumerate() {
+            let empirical = counts.probability(i);
+            assert!(
+                (empirical - p).abs() < 0.01,
+                "outcome {i}: exact {p:.4} vs sampled {empirical:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximally_mixing_noise_approaches_uniform() {
+        let mut c = Circuit::new(1);
+        // Long chain of noisy gates.
+        for _ in 0..200 {
+            c.x(0);
+        }
+        let noise = NoiseModel::builder().one_qubit_error(0.5).build();
+        let mut rho = DensityMatrix::zero(1).unwrap();
+        rho.apply_circuit_noisy(&c, &noise).unwrap();
+        let probs = rho.probabilities();
+        assert!((probs[0] - 0.5).abs() < 0.05, "p0 = {}", probs[0]);
+        assert!((rho.purity() - 0.5).abs() < 0.05);
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors raised by the statevector simulator and samplers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A register exceeded the dense-simulation limit.
+    TooManyQubits {
+        /// Requested register size.
+        requested: u32,
+        /// Supported maximum.
+        max: u32,
+    },
+    /// A circuit referenced more qubits than the state holds.
+    QubitMismatch {
+        /// Qubits required by the circuit.
+        circuit: u32,
+        /// Qubits available in the state.
+        state: u32,
+    },
+    /// A state-construction argument was invalid.
+    InvalidState(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyQubits { requested, max } => {
+                write!(f, "register of {requested} qubits exceeds simulator limit of {max}")
+            }
+            SimError::QubitMismatch { circuit, state } => write!(
+                f,
+                "circuit needs {circuit} qubits but state has only {state}"
+            ),
+            SimError::InvalidState(message) => write!(f, "invalid state: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_numbers() {
+        let e = SimError::TooManyQubits { requested: 40, max: 26 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("26"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! # qsim — statevector simulation with device noise
+//!
+//! The simulation substrate for the TetrisLock reproduction. The paper
+//! evaluates obfuscation quality by *running* circuits (Qiskit +
+//! `FakeValencia`, 1000 shots) and comparing output distributions; this
+//! crate provides the equivalent stack in Rust:
+//!
+//! * [`Statevector`] — dense pure-state simulation up to 26 qubits with
+//!   fast paths for the classical reversible gates RevLib circuits are made
+//!   of.
+//! * [`unitary`] — full-unitary extraction and equivalence checking used to
+//!   *prove* de-obfuscation correctness in tests.
+//! * [`noise`] — stochastic Pauli + readout error model (the Monte-Carlo
+//!   equivalent of Qiskit's depolarizing/readout noise).
+//! * [`Device`] — backend models, including [`Device::fake_valencia`]
+//!   mirroring the paper's 5-qubit backend.
+//! * [`Sampler`] / [`sampler::Counts`] — shot-based execution producing
+//!   Qiskit-style counts dictionaries.
+//!
+//! # Example
+//!
+//! ```
+//! use qcir::Circuit;
+//! use qsim::{Device, Sampler};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let device = Device::fake_valencia();
+//! let counts = Sampler::new(1000)
+//!     .with_seed(1)
+//!     .run_noisy(&c, device.noise())?;
+//! assert_eq!(counts.total(), 1000);
+//! # Ok::<(), qsim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod density;
+pub mod device;
+pub mod error;
+pub mod matrix;
+pub mod noise;
+pub mod sampler;
+pub mod statevector;
+pub mod unitary;
+
+pub use complex::C64;
+pub use density::DensityMatrix;
+pub use device::Device;
+pub use error::SimError;
+pub use sampler::{Counts, Sampler};
+pub use statevector::Statevector;

@@ -1,0 +1,522 @@
+//! Statevector simulation.
+
+use crate::complex::C64;
+use crate::error::SimError;
+use crate::matrix::{gate_matrix, Matrix};
+use qcir::{Circuit, Gate, Instruction, Qubit};
+use rand::Rng;
+
+/// A pure n-qubit quantum state as 2ⁿ complex amplitudes.
+///
+/// Amplitude index bit `k` is the state of qubit `k` (little-endian), so
+/// `amp[0b10]` on two qubits is the amplitude of `|q1=1, q0=0⟩`. Formatted
+/// bitstrings (as produced by [`crate::sampler`]) print qubit 0 rightmost,
+/// matching Qiskit's convention.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qsim::Statevector;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let state = Statevector::from_circuit(&bell)?;
+/// let probs = state.probabilities();
+/// assert!((probs[0] - 0.5).abs() < 1e-12); // |00>
+/// assert!((probs[3] - 0.5).abs() < 1e-12); // |11>
+/// # Ok::<(), qsim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: u32,
+    amps: Vec<C64>,
+}
+
+/// Maximum number of qubits the dense simulator accepts (2²⁶ amplitudes ≈
+/// 1 GiB); the paper's circuits use at most 12.
+pub const MAX_QUBITS: u32 = 26;
+
+impl Statevector {
+    /// Creates `|0…0⟩` over `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    pub fn zero(num_qubits: u32) -> Result<Self, SimError> {
+        if num_qubits == 0 || num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        let mut amps = vec![C64::ZERO; 1usize << num_qubits];
+        amps[0] = C64::ONE;
+        Ok(Statevector { num_qubits, amps })
+    }
+
+    /// Creates the computational basis state `|index⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] for oversized registers or
+    /// [`SimError::InvalidState`] if `index` is out of range.
+    pub fn basis(num_qubits: u32, index: usize) -> Result<Self, SimError> {
+        let mut sv = Statevector::zero(num_qubits)?;
+        if index >= sv.amps.len() {
+            return Err(SimError::InvalidState(format!(
+                "basis index {index} out of range for {num_qubits} qubits"
+            )));
+        }
+        sv.amps[0] = C64::ZERO;
+        sv.amps[index] = C64::ONE;
+        Ok(sv)
+    }
+
+    /// Runs `circuit` on `|0…0⟩` and returns the final state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates register-size errors from [`Statevector::zero`].
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, SimError> {
+        let mut sv = Statevector::zero(circuit.num_qubits())?;
+        sv.apply_circuit(circuit)?;
+        Ok(sv)
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Raw amplitudes (length `2^num_qubits`).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies every instruction of `circuit` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitMismatch`] if the circuit register exceeds
+    /// the state's.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.num_qubits() > self.num_qubits {
+            return Err(SimError::QubitMismatch {
+                circuit: circuit.num_qubits(),
+                state: self.num_qubits,
+            });
+        }
+        for inst in circuit.iter() {
+            self.apply(inst)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitMismatch`] if an operand is out of range.
+    pub fn apply(&mut self, inst: &Instruction) -> Result<(), SimError> {
+        for q in inst.qubits() {
+            if q.raw() >= self.num_qubits {
+                return Err(SimError::QubitMismatch {
+                    circuit: q.raw() + 1,
+                    state: self.num_qubits,
+                });
+            }
+        }
+        match inst.gate() {
+            // Fast classical paths.
+            Gate::I => {}
+            Gate::X => self.apply_x(inst.qubits()[0]),
+            Gate::CX => self.apply_cx(inst.qubits()[0], inst.qubits()[1]),
+            Gate::CCX => {
+                let q = inst.qubits();
+                self.apply_mcx(&[q[0], q[1]], q[2]);
+            }
+            Gate::Mcx(_) => {
+                let q = inst.qubits();
+                let (controls, target) = q.split_at(q.len() - 1);
+                self.apply_mcx(controls, target[0]);
+            }
+            Gate::Swap => self.apply_swap(inst.qubits()[0], inst.qubits()[1]),
+            gate if gate.arity() == 1 => {
+                self.apply_1q(&gate_matrix(gate), inst.qubits()[0]);
+            }
+            gate => {
+                self.apply_kq(&gate_matrix(gate), inst.qubits());
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_x(&mut self, q: Qubit) {
+        let bit = 1usize << q.index();
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                self.amps.swap(i, i | bit);
+            }
+        }
+    }
+
+    fn apply_cx(&mut self, control: Qubit, target: Qubit) {
+        let cbit = 1usize << control.index();
+        let tbit = 1usize << target.index();
+        for i in 0..self.amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_mcx(&mut self, controls: &[Qubit], target: Qubit) {
+        let cmask: usize = controls.iter().map(|q| 1usize << q.index()).sum();
+        let tbit = 1usize << target.index();
+        for i in 0..self.amps.len() {
+            if i & cmask == cmask && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: Qubit, b: Qubit) {
+        let abit = 1usize << a.index();
+        let bbit = 1usize << b.index();
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    fn apply_1q(&mut self, m: &Matrix, q: Qubit) {
+        let bit = 1usize << q.index();
+        let (m00, m01, m10, m11) = (m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1));
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let a0 = self.amps[i];
+                let a1 = self.amps[i | bit];
+                self.amps[i] = m00 * a0 + m01 * a1;
+                self.amps[i | bit] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    /// General k-qubit gate application: gathers each group of 2ᵏ
+    /// amplitudes addressed by the operand bits, multiplies by the matrix,
+    /// and scatters back.
+    fn apply_kq(&mut self, m: &Matrix, qubits: &[Qubit]) {
+        let k = qubits.len();
+        let dim = 1usize << k;
+        debug_assert_eq!(m.dim(), dim);
+        let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
+        let mask: usize = bits.iter().sum();
+
+        let mut gathered = vec![C64::ZERO; dim];
+        for base in 0..self.amps.len() {
+            if base & mask != 0 {
+                continue;
+            }
+            for (pattern, slot) in gathered.iter_mut().enumerate() {
+                let mut idx = base;
+                for (bit_pos, bit) in bits.iter().enumerate() {
+                    if pattern & (1 << bit_pos) != 0 {
+                        idx |= bit;
+                    }
+                }
+                *slot = self.amps[idx];
+            }
+            for row in 0..dim {
+                let mut acc = C64::ZERO;
+                for (col, &g) in gathered.iter().enumerate() {
+                    acc += m.get(row, col) * g;
+                }
+                let mut idx = base;
+                for (bit_pos, bit) in bits.iter().enumerate() {
+                    if row & (1 << bit_pos) != 0 {
+                        idx |= bit;
+                    }
+                }
+                self.amps[idx] = acc;
+            }
+        }
+    }
+
+    /// Born-rule probabilities of every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability of measuring the given basis index.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// L2 norm of the state (1.0 for any valid state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different sizes.
+    pub fn inner(&self, other: &Statevector) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "size mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different sizes.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Samples one measurement outcome (a basis index) without collapsing
+    /// the state.
+    pub fn sample_once<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, amp) in self.amps.iter().enumerate() {
+            acc += amp.norm_sqr();
+            if r < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// `true` if the two states are equal up to a global phase within `eps`.
+    pub fn approx_eq_up_to_phase(&self, other: &Statevector, eps: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        let overlap = self.inner(other);
+        (overlap.abs() - 1.0).abs() <= eps
+            && (self.norm() - 1.0).abs() <= eps
+            && (other.norm() - 1.0).abs() <= eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let sv = Statevector::zero(3).unwrap();
+        assert_eq!(sv.amplitudes()[0], C64::ONE);
+        assert!((sv.norm() - 1.0).abs() < EPS);
+        assert_eq!(sv.probabilities()[0], 1.0);
+    }
+
+    #[test]
+    fn rejects_oversized_register() {
+        assert!(Statevector::zero(0).is_err());
+        assert!(Statevector::zero(MAX_QUBITS + 1).is_err());
+    }
+
+    #[test]
+    fn basis_state_constructor() {
+        let sv = Statevector::basis(2, 3).unwrap();
+        assert_eq!(sv.probability(3), 1.0);
+        assert!(Statevector::basis(2, 4).is_err());
+    }
+
+    #[test]
+    fn x_flips_qubit() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0b01), 1.0);
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < EPS);
+        assert!(p[1].abs() < EPS);
+        assert!(p[2].abs() < EPS);
+        assert!((p[3] - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn cx_only_fires_on_control() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0), 1.0); // control 0: no-op
+
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0b11), 1.0);
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        for input in 0..8usize {
+            let mut c = Circuit::new(3);
+            for b in 0..3 {
+                if input & (1 << b) != 0 {
+                    c.x(b as u32);
+                }
+            }
+            c.ccx(0, 1, 2);
+            let sv = Statevector::from_circuit(&c).unwrap();
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert!(
+                (sv.probability(expected) - 1.0).abs() < EPS,
+                "input {input} mapped wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn mcx_matches_expected_permutation() {
+        for input in 0..16usize {
+            let mut c = Circuit::new(4);
+            for b in 0..4 {
+                if input & (1 << b) != 0 {
+                    c.x(b as u32);
+                }
+            }
+            c.mcx(&[0, 1, 2], 3);
+            let sv = Statevector::from_circuit(&c).unwrap();
+            let expected = if input & 0b111 == 0b111 {
+                input ^ 0b1000
+            } else {
+                input
+            };
+            assert!((sv.probability(expected) - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn cswap_controlled_behaviour() {
+        // Control clear: no swap.
+        let mut c = Circuit::new(3);
+        c.x(1).cswap(0, 1, 2);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0b010), 1.0);
+        // Control set: swap.
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).cswap(0, 1, 2);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert_eq!(sv.probability(0b101), 1.0);
+    }
+
+    #[test]
+    fn circuit_then_inverse_is_identity() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(0, 1).rz(0.37, 2).ccx(0, 1, 2).s(2).swap(0, 2);
+        let mut sv = Statevector::from_circuit(&c).unwrap();
+        sv.apply_circuit(&c.inverse()).unwrap();
+        let zero = Statevector::zero(3).unwrap();
+        assert!(sv.approx_eq_up_to_phase(&zero, 1e-10));
+        assert!((sv.probability(0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_preserved_through_random_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .rx(0.3, 1)
+            .cp(0.9, 0, 2)
+            .ccx(0, 1, 3)
+            .ry(1.2, 2)
+            .crz(0.5, 3, 0)
+            .u(0.2, 0.4, 0.6, 1)
+            .ch(2, 3);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert!((sv.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kq_path_matches_fast_path() {
+        // Apply CX via the generic matrix path and compare.
+        let mut c = Circuit::new(3);
+        c.h(0).h(2);
+        let mut fast = Statevector::from_circuit(&c).unwrap();
+        let mut slow = fast.clone();
+        let inst = Instruction::new(Gate::CX, vec![Qubit::new(0), Qubit::new(2)]).unwrap();
+        fast.apply(&inst).unwrap();
+        slow.apply_kq(&gate_matrix(&Gate::CX), inst.qubits());
+        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+            assert!(a.approx_eq(*b, EPS));
+        }
+    }
+
+    #[test]
+    fn fidelity_and_inner() {
+        let a = Statevector::basis(2, 0).unwrap();
+        let b = Statevector::basis(2, 3).unwrap();
+        assert_eq!(a.fidelity(&b), 0.0);
+        assert_eq!(a.fidelity(&a), 1.0);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let ones = (0..n).filter(|_| sv.sample_once(&mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn mismatched_circuit_register_rejected() {
+        let mut sv = Statevector::zero(2).unwrap();
+        let mut c = Circuit::new(3);
+        c.x(2);
+        assert!(sv.apply_circuit(&c).is_err());
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let mut c1 = Circuit::new(1);
+        c1.rz(1.0, 0);
+        let mut c2 = Circuit::new(1);
+        c2.p(1.0, 0);
+        let s1 = Statevector::from_circuit(&c1).unwrap();
+        let s2 = Statevector::from_circuit(&c2).unwrap();
+        // On |0>, rz and p differ only by global phase.
+        assert!(s1.approx_eq_up_to_phase(&s2, EPS));
+    }
+}

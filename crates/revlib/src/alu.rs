@@ -1,0 +1,104 @@
+//! The `mini ALU` benchmark.
+
+use crate::spec::Benchmark;
+use qcir::Circuit;
+
+/// `mini ALU`: a 1-bit arithmetic-logic unit on 5 qubits.
+///
+/// Wires: `q0 = a`, `q1 = b`, `q2 = s` (operation select), `q3 = result
+/// accumulator`, `q4 = workspace` (dirty, restored).
+///
+/// Semantics: `q3 ^= s ? (a ⊕ b) : (a ∧ b)` — select-XOR vs select-AND,
+/// the classic two-op ALU slice. The AND path needs a 3-controlled AND
+/// (`¬s·a·b`), built with the dirty-ancilla Toffoli ladder over `q4`; the
+/// XOR path conditions `a ⊕ b` on `s` directly.
+///
+/// 9 gates (paper: 9), depth 9 (paper: 8).
+///
+/// # Example
+///
+/// ```
+/// use revlib::mini_alu;
+///
+/// let bench = mini_alu();
+/// // s=0: AND. a=1, b=1 → q3 ^= 1.
+/// assert_eq!(bench.eval(0b00011) >> 3 & 1, 1);
+/// // s=1: XOR. a=1, b=1 → q3 ^= 0.
+/// assert_eq!(bench.eval(0b00111) >> 3 & 1, 0);
+/// ```
+pub fn mini_alu() -> Benchmark {
+    let mut c = Circuit::with_name(5, "mini ALU");
+    // AND path: q3 ^= ¬s·a·b (dirty ancilla q4).
+    c.x(2); // s̄
+    c.ccx(2, 4, 3).ccx(0, 1, 4).ccx(2, 4, 3).ccx(0, 1, 4); // q3 ^= s̄·a·b
+    c.x(2); // restore s
+    // XOR path: q3 ^= s·(a ⊕ b).
+    c.cx(0, 1) // q1 = a ⊕ b
+        .ccx(2, 1, 3) // q3 ^= s·(a⊕b)
+        .cx(0, 1); // restore b
+    Benchmark::new(
+        "mini ALU",
+        "q3 ^= s ? (a⊕b) : (a∧b); a,b,s preserved, q4 dirty-restored",
+        c,
+        |x| {
+            let a = x & 1;
+            let b = x >> 1 & 1;
+            let s = x >> 2 & 1;
+            let result = if s == 1 { a ^ b } else { a & b };
+            x ^ (result << 3)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_exhaustive() {
+        assert_eq!(mini_alu().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn alu_op_table() {
+        let bench = mini_alu();
+        for a in 0..2usize {
+            for b in 0..2usize {
+                for s in 0..2usize {
+                    let input = a | (b << 1) | (s << 2);
+                    let out = bench.eval_circuit(input);
+                    let expect = if s == 1 { a ^ b } else { a & b };
+                    assert_eq!(out >> 3 & 1, expect, "a={a} b={b} s={s}");
+                    // Inputs preserved.
+                    assert_eq!(out & 0b111, input & 0b111);
+                    // Workspace restored.
+                    assert_eq!(out >> 4 & 1, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_workspace_is_dirty_safe() {
+        let bench = mini_alu();
+        // q4 = 1 initially must still give correct results + restore.
+        for x in 0..16usize {
+            let input = x | (1 << 4);
+            let out = bench.eval_circuit(input);
+            assert_eq!(out >> 4 & 1, 1, "workspace not restored for {x}");
+            let a = x & 1;
+            let b = x >> 1 & 1;
+            let s = x >> 2 & 1;
+            let expect = if s == 1 { a ^ b } else { a & b };
+            assert_eq!(out >> 3 & 1, (x >> 3 & 1) ^ expect);
+        }
+    }
+
+    #[test]
+    fn alu_matches_paper_size() {
+        let bench = mini_alu();
+        assert_eq!(bench.circuit().num_qubits(), 5);
+        assert_eq!(bench.circuit().gate_count(), 9); // paper: 9
+        assert!(bench.circuit().depth() <= 9); // paper: 8
+    }
+}

@@ -1,0 +1,167 @@
+//! 4-bit greater-than comparators (the RevLib `4gt` family).
+
+use crate::spec::Benchmark;
+use qcir::Circuit;
+
+/// `4gt13`: outputs `[x > 13]` for the 4-bit input `x = q3 q2 q1 q0` onto
+/// `q4`.
+///
+/// `x > 13 ⟺ x ∈ {14, 15} ⟺ x1·x2·x3`. The circuit computes the triple
+/// AND with the classic *dirty-ancilla* Toffoli ladder using the unused
+/// input `q0` as borrowed workspace (restored afterwards):
+///
+/// ```text
+/// ccx(q3, q0, q4); ccx(q1, q2, q0); ccx(q3, q0, q4); ccx(q1, q2, q0)
+/// ```
+///
+/// Net effect: `q4 ^= q1·q2·q3` for *any* initial `q0`. Four gates at
+/// depth 4 — exactly the size the paper reports for this benchmark.
+///
+/// # Example
+///
+/// ```
+/// use revlib::comparator_4gt13;
+///
+/// let bench = comparator_4gt13();
+/// assert_eq!(bench.eval(14) >> 4 & 1, 1);
+/// assert_eq!(bench.eval(13) >> 4 & 1, 0);
+/// ```
+pub fn comparator_4gt13() -> Benchmark {
+    let mut c = Circuit::with_name(5, "4gt13");
+    c.ccx(3, 0, 4).ccx(1, 2, 0).ccx(3, 0, 4).ccx(1, 2, 0);
+    Benchmark::new(
+        "4gt13",
+        "q4 ^= [x > 13] for 4-bit x on q0..q3 (dirty-ancilla AND ladder)",
+        c,
+        |s| {
+            let x = s & 0b1111;
+            let hit = usize::from(x > 13);
+            s ^ (hit << 4)
+        },
+    )
+}
+
+/// `4gt11`: outputs `[x > 11]` for the 4-bit input onto `q4`.
+///
+/// `x > 11 ⟺ x2·x3`. Mirroring the redundant ESOP-style synthesis of the
+/// RevLib netlist (which is noticeably larger than the optimum), the
+/// function is expanded over `x1`:
+///
+/// `x2·x3 = x1·x2·x3 ⊕ ¬x1·x2·x3`
+///
+/// and each 3-input AND term uses the dirty-ancilla ladder with `q0`
+/// borrowed. 10 gates, depth 10 (paper: 13 / 13).
+pub fn comparator_4gt11() -> Benchmark {
+    let mut c = Circuit::with_name(5, "4gt11");
+    // Term 1: q4 ^= ¬x1·x2·x3 (the X-conjugated term first: the lone
+    // x(1) opener leaves a two-layer leading idle window on q3/q4, the
+    // kind of slack real RevLib netlists exhibit).
+    c.x(1);
+    c.ccx(1, 2, 0).ccx(3, 0, 4).ccx(1, 2, 0).ccx(3, 0, 4);
+    c.x(1);
+    // Term 2: q4 ^= x1·x2·x3.
+    c.ccx(1, 2, 0).ccx(3, 0, 4).ccx(1, 2, 0).ccx(3, 0, 4);
+    Benchmark::new(
+        "4gt11",
+        "q4 ^= [x > 11] for 4-bit x on q0..q3 (ESOP over x1, dirty ancilla)",
+        c,
+        |s| {
+            let x = s & 0b1111;
+            let hit = usize::from(x > 11);
+            s ^ (hit << 4)
+        },
+    )
+}
+
+/// `4gt5`: extension workload — `[x > 5]` onto `q4`.
+///
+/// `x > 5 ⟺ x3 ∨ (x2·x1)`, ESOP form `x3 ⊕ x2·x1 ⊕ x3·x2·x1`.
+pub fn comparator_4gt5() -> Benchmark {
+    let mut c = Circuit::with_name(5, "4gt5");
+    c.cx(3, 4).ccx(1, 2, 4);
+    // q4 ^= x1·x2·x3 via dirty ancilla q0.
+    c.ccx(3, 0, 4).ccx(1, 2, 0).ccx(3, 0, 4).ccx(1, 2, 0);
+    Benchmark::new(
+        "4gt5",
+        "q4 ^= [x > 5] for 4-bit x on q0..q3",
+        c,
+        |s| {
+            let x = s & 0b1111;
+            let hit = usize::from(x > 5);
+            s ^ (hit << 4)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gt13_exhaustive() {
+        assert_eq!(comparator_4gt13().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn gt13_threshold_behaviour() {
+        let b = comparator_4gt13();
+        for x in 0..16usize {
+            let out = b.eval_circuit(x);
+            assert_eq!(out >> 4 & 1, usize::from(x > 13), "x = {x}");
+            // Inputs must be preserved (ancilla restored).
+            assert_eq!(out & 0b1111, x, "inputs clobbered for x = {x}");
+        }
+    }
+
+    #[test]
+    fn gt13_matches_paper_size() {
+        let b = comparator_4gt13();
+        assert_eq!(b.circuit().gate_count(), 4); // paper: 4
+        assert_eq!(b.circuit().depth(), 4); // paper: 4
+        assert_eq!(b.circuit().num_qubits(), 5);
+    }
+
+    #[test]
+    fn gt13_dirty_ancilla_invariant() {
+        // The ladder must work for q0 = 1 too (dirty means *any* value).
+        let b = comparator_4gt13();
+        for x in 0..32usize {
+            let out = b.eval_circuit(x);
+            assert_eq!(out & 1, x & 1, "ancilla q0 not restored for {x}");
+        }
+    }
+
+    #[test]
+    fn gt11_exhaustive() {
+        assert_eq!(comparator_4gt11().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn gt11_shape() {
+        let b = comparator_4gt11();
+        assert_eq!(b.circuit().gate_count(), 10);
+        assert_eq!(b.circuit().num_qubits(), 5);
+        assert!(b.circuit().depth() >= 9);
+    }
+
+    #[test]
+    fn gt11_threshold_behaviour() {
+        let b = comparator_4gt11();
+        for x in 0..16usize {
+            assert_eq!(b.eval_circuit(x) >> 4 & 1, usize::from(x > 11), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn gt5_exhaustive() {
+        assert_eq!(comparator_4gt5().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn outputs_xor_into_target() {
+        // With q4 initially 1 the output is complemented.
+        let b = comparator_4gt13();
+        let out = b.eval_circuit(0b1_1111); // x = 15, q4 = 1
+        assert_eq!(out >> 4 & 1, 0);
+    }
+}

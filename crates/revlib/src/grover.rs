@@ -1,0 +1,131 @@
+//! Grover-search workload.
+//!
+//! The paper's §V-A notes that for non-arithmetic circuits such as
+//! Grover's algorithm, TetrisLock inserts Hadamard gates instead of X/CX.
+//! This module provides the Grover workload those experiments run on.
+//! Unlike the RevLib circuits this one is *not* classical, so it has no
+//! truth-table reference; its marker is the amplified basis state.
+
+use qcir::Circuit;
+
+/// Builds a Grover search circuit over `num_qubits` qubits amplifying the
+/// basis state `marked`, running `iterations` Grover iterations.
+///
+/// Oracle and diffusion use multi-controlled Z built from `H·MCX·H`.
+///
+/// # Panics
+///
+/// Panics if `marked` is out of range or `num_qubits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use revlib::grover::grover;
+/// use qsim::Statevector;
+///
+/// // 3 qubits, 2 iterations is near-optimal for 8 entries.
+/// let c = grover(3, 0b101, 2);
+/// let sv = Statevector::from_circuit(&c)?;
+/// assert!(sv.probability(0b101) > 0.9);
+/// # Ok::<(), qsim::SimError>(())
+/// ```
+pub fn grover(num_qubits: u32, marked: usize, iterations: u32) -> Circuit {
+    assert!(num_qubits > 0, "grover needs at least one qubit");
+    assert!(
+        marked < 1usize << num_qubits,
+        "marked state out of range"
+    );
+    let mut c = Circuit::with_name(num_qubits, format!("grover{num_qubits}"));
+    // Uniform superposition.
+    for q in 0..num_qubits {
+        c.h(q);
+    }
+    let controls: Vec<u32> = (0..num_qubits - 1).collect();
+    let target = num_qubits - 1;
+    for _ in 0..iterations {
+        // Oracle: phase-flip |marked⟩. Conjugate an MCZ with X on the
+        // zero bits of `marked`.
+        for q in 0..num_qubits {
+            if marked >> q & 1 == 0 {
+                c.x(q);
+            }
+        }
+        c.h(target);
+        c.mcx(&controls, target);
+        c.h(target);
+        for q in 0..num_qubits {
+            if marked >> q & 1 == 0 {
+                c.x(q);
+            }
+        }
+        // Diffusion: reflect about the mean.
+        for q in 0..num_qubits {
+            c.h(q);
+            c.x(q);
+        }
+        c.h(target);
+        c.mcx(&controls, target);
+        c.h(target);
+        for q in 0..num_qubits {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// The recommended iteration count ⌊π/4·√N⌋ for an `num_qubits`-qubit
+/// search space.
+pub fn optimal_iterations(num_qubits: u32) -> u32 {
+    let n = (1u64 << num_qubits) as f64;
+    (std::f64::consts::FRAC_PI_4 * n.sqrt()).floor().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Statevector;
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        for marked in [0b000usize, 0b101, 0b111] {
+            let c = grover(3, marked, optimal_iterations(3));
+            let sv = Statevector::from_circuit(&c).unwrap();
+            assert!(
+                sv.probability(marked) > 0.9,
+                "marked {marked:b}: p = {}",
+                sv.probability(marked)
+            );
+        }
+    }
+
+    #[test]
+    fn grover_4_qubits() {
+        let c = grover(4, 0b1010, optimal_iterations(4));
+        let sv = Statevector::from_circuit(&c).unwrap();
+        assert!(sv.probability(0b1010) > 0.9);
+    }
+
+    #[test]
+    fn zero_iterations_is_uniform() {
+        let c = grover(3, 0, 0);
+        let sv = Statevector::from_circuit(&c).unwrap();
+        for i in 0..8 {
+            assert!((sv.probability(i) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_iterations_grows_with_space() {
+        assert_eq!(optimal_iterations(2), 1);
+        assert_eq!(optimal_iterations(3), 2);
+        assert_eq!(optimal_iterations(4), 3);
+        assert!(optimal_iterations(8) > optimal_iterations(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_marked_state() {
+        grover(2, 7, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! # revlib — reversible benchmark circuits
+//!
+//! Rust re-implementations of the RevLib benchmark family the TetrisLock
+//! paper evaluates on (Wille et al., "RevLib: an online resource for
+//! reversible functions and reversible circuits", ISMVL 2008).
+//!
+//! Each benchmark is a classical reversible circuit (X/CX/CCX/MCX — the
+//! multi-controlled-Toffoli library RevLib uses) bundled with an
+//! *independently coded* reference permutation; `verify_exhaustive` checks
+//! the two against each other on every basis input. Circuit sizes track
+//! the paper's Table I (see `EXPERIMENTS.md` for the per-circuit
+//! comparison).
+//!
+//! The eight Table-I benchmarks are returned by [`table1_benchmarks`];
+//! extension workloads (2-bit adder, 4gt5, mixers, Grover) are exported
+//! individually.
+//!
+//! # Example
+//!
+//! ```
+//! use revlib::table1_benchmarks;
+//!
+//! let benches = table1_benchmarks();
+//! assert_eq!(benches.len(), 8);
+//! for b in &benches {
+//!     assert_eq!(b.verify_exhaustive(), None, "{} broken", b.name());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod alu;
+pub mod comparators;
+pub mod grover;
+pub mod linear;
+pub mod modular;
+pub mod spec;
+pub mod weight;
+
+pub use adder::{adder_1bit, adder_2bit};
+pub use alu::mini_alu;
+pub use comparators::{comparator_4gt11, comparator_4gt13, comparator_4gt5};
+pub use grover::grover;
+pub use linear::{graycode6, majority5, parity9};
+pub use modular::{mod5_4, mod_mixer};
+pub use spec::{classical_eval, toffoli_double, Benchmark};
+pub use weight::{rd43, rd53, rd73, rd84};
+
+/// The eight benchmarks of the paper's Table I, in table order.
+pub fn table1_benchmarks() -> Vec<Benchmark> {
+    vec![
+        mini_alu(),
+        mod5_4(),
+        adder_1bit(),
+        comparator_4gt11(),
+        comparator_4gt13(),
+        rd53(),
+        rd73(),
+        rd84(),
+    ]
+}
+
+/// Every benchmark in the crate (Table I plus extensions), for broad test
+/// sweeps.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = table1_benchmarks();
+    v.push(adder_2bit());
+    v.push(comparator_4gt5());
+    v.push(mod_mixer());
+    v.push(rd43());
+    v.push(toffoli_double());
+    v.push(graycode6());
+    v.push(parity9());
+    v.push(majority5());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_verifies_exhaustively() {
+        for b in all_benchmarks() {
+            assert_eq!(b.verify_exhaustive(), None, "{} broken", b.name());
+        }
+    }
+
+    #[test]
+    fn table1_names_match_paper() {
+        let names: Vec<&str> = table1_benchmarks().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["mini ALU", "4mod5", "1-bit adder", "4gt11", "4gt13", "rd53", "rd73", "rd84"]
+        );
+    }
+
+    #[test]
+    fn table1_qubit_counts_match_paper_families() {
+        // Paper: qubit sizes vary across 4, 5, 7, 10, 12.
+        let sizes: std::collections::BTreeSet<u32> = table1_benchmarks()
+            .iter()
+            .map(|b| b.circuit().num_qubits())
+            .collect();
+        assert_eq!(sizes, [4u32, 5, 7, 10, 12].into_iter().collect());
+    }
+
+    #[test]
+    fn table1_gate_counts_in_paper_range() {
+        // Paper: "the number of gates ranging from 4 to 32".
+        for b in table1_benchmarks() {
+            let g = b.circuit().gate_count();
+            assert!((4..=32).contains(&g), "{}: {g} gates", b.name());
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_permutations() {
+        for b in all_benchmarks() {
+            let n = b.circuit().num_qubits();
+            if n > 12 {
+                continue;
+            }
+            let mut seen = vec![false; 1 << n];
+            for x in 0..1usize << n {
+                let y = b.eval(x);
+                assert!(!seen[y], "{} not injective at {x}", b.name());
+                seen[y] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn statevector_agrees_with_classical_eval() {
+        use qsim::Statevector;
+        // Spot-check on the small benchmarks: quantum simulation of a
+        // classical circuit must land exactly on the reference basis state.
+        for b in all_benchmarks() {
+            let n = b.circuit().num_qubits();
+            if n > 7 {
+                continue;
+            }
+            for x in [0usize, 1, (1 << n) - 1] {
+                let mut sv = Statevector::basis(n, x).unwrap();
+                sv.apply_circuit(b.circuit()).unwrap();
+                let expected = b.eval(x);
+                assert!(
+                    (sv.probability(expected) - 1.0).abs() < 1e-9,
+                    "{}: quantum/classical mismatch on input {x}",
+                    b.name()
+                );
+            }
+        }
+    }
+}

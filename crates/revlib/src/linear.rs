@@ -1,0 +1,153 @@
+//! Linear-reversible and voting benchmarks (extension workloads).
+//!
+//! These extend the Table-I set with three more classic reversible
+//! families — Gray-code conversion, parity, and majority voting — giving
+//! the obfuscation experiments a wider range of structures (pure CX
+//! networks, broadcast trees, counter+threshold logic).
+
+use crate::spec::Benchmark;
+use qcir::Circuit;
+
+/// `graycode6`: converts a 6-bit binary number to its Gray code in
+/// place: `yᵢ = xᵢ ⊕ xᵢ₊₁` (top bit unchanged). A pure CX cascade — the
+/// structure of linear-reversible RevLib circuits.
+///
+/// # Example
+///
+/// ```
+/// use revlib::linear::graycode6;
+///
+/// let b = graycode6();
+/// assert_eq!(b.eval(0b000111), 0b000100); // gray(7) = 7 ⊕ 3 = 4
+/// ```
+pub fn graycode6() -> Benchmark {
+    let mut c = Circuit::with_name(6, "graycode6");
+    // Apply low-to-high so every step reads the *original* next bit.
+    for i in 0..5 {
+        c.cx(i + 1, i);
+    }
+    Benchmark::new(
+        "graycode6",
+        "in-place binary→Gray conversion: y_i = x_i ⊕ x_{i+1}",
+        c,
+        |x| {
+            let x6 = x & 0b111111;
+            (x & !0b111111) | (x6 ^ (x6 >> 1))
+        },
+    )
+}
+
+/// `parity9`: folds the parity of 8 data bits onto the 9th wire — the
+/// RevLib `parity` family (pure CX fan-in).
+pub fn parity9() -> Benchmark {
+    let mut c = Circuit::with_name(9, "parity9");
+    for i in 0..8 {
+        c.cx(i, 8);
+    }
+    Benchmark::new(
+        "parity9",
+        "q8 ^= parity(q0..q7)",
+        c,
+        |x| {
+            let p = ((x & 0xFF).count_ones() & 1) as usize;
+            x ^ (p << 8)
+        },
+    )
+}
+
+/// `majority5`: majority vote of 5 inputs (`q0..q4`) onto `q8`, using a
+/// 3-bit counter on `q5..q7` (controlled increments) followed by the
+/// threshold test `w ≥ 3 ⟺ c₂ ⊕ c₀·c₁` (since `w ≤ 5`).
+///
+/// 9 qubits, 17 gates — the counter-plus-threshold structure of larger
+/// RevLib voters. Note the counter wires end *dirty* (they hold the
+/// weight), as RevLib garbage lines do.
+pub fn majority5() -> Benchmark {
+    let mut c = Circuit::with_name(9, "majority5");
+    // Counter on q5..q7: controlled increment per input.
+    for x in 0..5u32 {
+        c.mcx(&[x, 5, 6], 7);
+        c.ccx(x, 5, 6);
+        c.cx(x, 5);
+    }
+    // Threshold: q8 ^= c2 ⊕ c0·c1 (majority since w ≤ 5 < 8).
+    c.cx(7, 8);
+    c.ccx(5, 6, 8);
+    Benchmark::new(
+        "majority5",
+        "q8 ^= [weight(q0..q4) ≥ 3]; q5..q7 hold the weight (garbage)",
+        c,
+        |s| {
+            let w = (s & 0b11111).count_ones() as usize;
+            let counter = (s >> 5) & 0b111;
+            let new_counter = (counter + w) & 0b111;
+            let c0 = new_counter & 1;
+            let c1 = new_counter >> 1 & 1;
+            let c2 = new_counter >> 2 & 1;
+            let vote = c2 ^ (c0 & c1);
+            (s & 0b1_1111) | (new_counter << 5) | (((s >> 8 & 1) ^ vote) << 8)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graycode_exhaustive() {
+        assert_eq!(graycode6().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn graycode_known_values() {
+        let b = graycode6();
+        assert_eq!(b.eval_circuit(0), 0);
+        assert_eq!(b.eval_circuit(1), 1);
+        assert_eq!(b.eval_circuit(2), 3);
+        assert_eq!(b.eval_circuit(7), 4);
+        // Successive Gray codes differ in exactly one bit.
+        for x in 0..63usize {
+            let g1 = b.eval_circuit(x);
+            let g2 = b.eval_circuit(x + 1);
+            assert_eq!((g1 ^ g2).count_ones(), 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn parity_exhaustive() {
+        assert_eq!(parity9().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn parity_flips_only_target() {
+        let b = parity9();
+        for x in [0usize, 0b1, 0b1010_1010, 0xFF] {
+            let out = b.eval_circuit(x);
+            assert_eq!(out & 0xFF, x & 0xFF, "inputs preserved");
+            assert_eq!(out >> 8, (x.count_ones() as usize) & 1);
+        }
+    }
+
+    #[test]
+    fn majority_exhaustive() {
+        assert_eq!(majority5().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn majority_votes_correctly_from_clean_counter() {
+        let b = majority5();
+        for x in 0..32usize {
+            let out = b.eval_circuit(x);
+            let expected = usize::from(x.count_ones() >= 3);
+            assert_eq!(out >> 8 & 1, expected, "x = {x:05b}");
+        }
+    }
+
+    #[test]
+    fn majority_shape() {
+        let b = majority5();
+        assert_eq!(b.circuit().num_qubits(), 9);
+        assert_eq!(b.circuit().gate_count(), 17);
+    }
+}

@@ -1,0 +1,117 @@
+//! Modular-arithmetic detectors (the RevLib `4mod5` family).
+
+use crate::spec::Benchmark;
+use qcir::Circuit;
+
+/// `4mod5`: flags onto `q4` whether the 4-bit input is divisible by 5.
+///
+/// For 4-bit `x`, `x mod 5 == 0 ⟺ x ∈ {0, 5, 10, 15} ⟺ (x0 = x2) ∧
+/// (x1 = x3)`. The circuit folds the two XNOR tests onto `q2`/`q3` and
+/// ANDs them into the result line; `q2`/`q3` end as garbage (standard for
+/// RevLib netlists), `q2` is restored to the XOR for cleanliness.
+///
+/// 6 gates (paper: 6), depth 4 (paper: 5).
+///
+/// # Example
+///
+/// ```
+/// use revlib::mod5_4;
+///
+/// let bench = mod5_4();
+/// assert_eq!(bench.eval(10) >> 4 & 1, 1); // 10 = 2·5
+/// assert_eq!(bench.eval(7) >> 4 & 1, 0);
+/// ```
+pub fn mod5_4() -> Benchmark {
+    let mut c = Circuit::with_name(5, "4mod5");
+    c.cx(0, 2) // q2 = x0 ⊕ x2
+        .cx(1, 3) // q3 = x1 ⊕ x3
+        .x(2) // q2 = XNOR(x0, x2)
+        .x(3) // q3 = XNOR(x1, x3)
+        .ccx(2, 3, 4) // q4 ^= [x ≡ 0 (mod 5)]
+        .x(2); // restore q2 = x0 ⊕ x2 (q3 stays inverted: garbage)
+    Benchmark::new(
+        "4mod5",
+        "q4 ^= [4-bit x ≡ 0 mod 5]; q2,q3 garbage XOR lines",
+        c,
+        |s| {
+            let x = s & 0b1111;
+            let x0 = x & 1;
+            let x1 = x >> 1 & 1;
+            let x2 = x >> 2 & 1;
+            let x3 = x >> 3 & 1;
+            let hit = usize::from(x % 5 == 0);
+            let g2 = x0 ^ x2;
+            let g3 = (x1 ^ x3) ^ 1;
+            (s & !0b11100) | (g2 << 2) | (g3 << 3) | ((s >> 4 & 1) ^ hit) << 4
+        },
+    )
+}
+
+/// `mod5adder`-style extension workload: adds the 3-bit input `q0..q2`
+/// (values 0..7) modulo 2 onto `q3` and tracks `mod 4` residue parity on
+/// `q4` — a small arithmetic mixer exercising CX/CCX chains.
+pub fn mod_mixer() -> Benchmark {
+    let mut c = Circuit::with_name(5, "mod_mixer");
+    c.cx(0, 3).cx(1, 3).cx(2, 3) // q3 ^= parity
+        .ccx(0, 1, 4)
+        .ccx(1, 2, 4)
+        .ccx(0, 2, 4); // q4 ^= pair-count parity = bit1 of weight
+    Benchmark::new(
+        "mod_mixer",
+        "q3 ^= parity(x), q4 ^= ⌊weight(x)/2⌋ mod 2 for 3-bit x",
+        c,
+        |s| {
+            let x = s & 0b111;
+            let w = (x & 1) + (x >> 1 & 1) + (x >> 2 & 1);
+            let p = w & 1;
+            let h = (w >> 1) & 1;
+            s ^ (p << 3) ^ (h << 4)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod5_exhaustive() {
+        assert_eq!(mod5_4().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn mod5_flags_multiples() {
+        let b = mod5_4();
+        for x in 0..16usize {
+            assert_eq!(
+                b.eval_circuit(x) >> 4 & 1,
+                usize::from(x % 5 == 0),
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod5_shape() {
+        let b = mod5_4();
+        assert_eq!(b.circuit().num_qubits(), 5);
+        assert_eq!(b.circuit().gate_count(), 6); // paper: 6
+        assert!(b.circuit().depth() >= 4);
+    }
+
+    #[test]
+    fn mixer_exhaustive() {
+        assert_eq!(mod_mixer().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn mixer_weight_bits() {
+        let b = mod_mixer();
+        for x in 0..8usize {
+            let out = b.eval_circuit(x);
+            let w = x.count_ones() as usize;
+            assert_eq!(out >> 3 & 1, w & 1);
+            assert_eq!(out >> 4 & 1, (w >> 1) & 1);
+        }
+    }
+}

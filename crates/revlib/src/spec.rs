@@ -1,0 +1,236 @@
+//! Benchmark specification: circuit + independent classical reference.
+//!
+//! Every RevLib benchmark here is a *classical reversible* circuit (built
+//! from X/CX/CCX/MCX), so its action is a permutation of computational
+//! basis states. Each [`Benchmark`] carries an independently coded
+//! reference permutation; the test suites check the circuit against the
+//! reference on **every** input, which is the strongest possible
+//! functional validation.
+
+use qcir::{Circuit, Gate};
+
+/// Reference permutation: maps an input basis index to the output basis
+/// index (bit `k` of the index is qubit `k`).
+pub type Reference = fn(usize) -> usize;
+
+/// A named benchmark circuit with its classical reference function.
+///
+/// # Example
+///
+/// ```
+/// use revlib::toffoli_double;
+///
+/// let bench = toffoli_double();
+/// assert_eq!(bench.circuit().num_qubits(), 3);
+/// // |110⟩: both controls set (q1=1, q2=1)? depends on the benchmark —
+/// // use the reference to find out.
+/// let out = bench.eval(0b011);
+/// assert_eq!(out, bench.eval_circuit(0b011));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    name: &'static str,
+    description: &'static str,
+    circuit: Circuit,
+    reference: Reference,
+}
+
+impl Benchmark {
+    /// Creates a benchmark from parts (used by the circuit constructors in
+    /// this crate).
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        circuit: Circuit,
+        reference: Reference,
+    ) -> Self {
+        Benchmark {
+            name,
+            description,
+            circuit,
+            reference,
+        }
+    }
+
+    /// Benchmark name as used in the paper's Table I.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the computed function.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The benchmark circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Evaluates the independent reference permutation.
+    pub fn eval(&self, input: usize) -> usize {
+        (self.reference)(input)
+    }
+
+    /// Evaluates the *circuit* classically on a basis input (must agree
+    /// with [`Benchmark::eval`]; the tests enforce this exhaustively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains non-classical gates.
+    pub fn eval_circuit(&self, input: usize) -> usize {
+        classical_eval(&self.circuit, input)
+    }
+
+    /// The output the paper's "accuracy" metric counts as correct: the
+    /// image of the all-zeros input.
+    pub fn expected_output(&self) -> usize {
+        self.eval(0)
+    }
+
+    /// Verifies circuit-vs-reference agreement on every basis input.
+    ///
+    /// Returns the first mismatching input, or `None` if all agree.
+    pub fn verify_exhaustive(&self) -> Option<usize> {
+        let n = self.circuit.num_qubits();
+        (0..1usize << n).find(|&input| self.eval(input) != self.eval_circuit(input))
+    }
+}
+
+/// Classically evaluates a reversible circuit on a basis state.
+///
+/// Supports the classical gate subset (I/X/CX/CCX/MCX/SWAP/CSWAP).
+///
+/// # Panics
+///
+/// Panics if the circuit contains a non-classical gate (H, rotations, …).
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use revlib::spec::classical_eval;
+///
+/// let mut c = Circuit::new(2);
+/// c.x(0).cx(0, 1);
+/// assert_eq!(classical_eval(&c, 0b00), 0b11);
+/// ```
+pub fn classical_eval(circuit: &Circuit, input: usize) -> usize {
+    let mut state = input;
+    for inst in circuit.iter() {
+        let qs = inst.qubits();
+        match inst.gate() {
+            Gate::I => {}
+            Gate::X => state ^= 1 << qs[0].index(),
+            Gate::CX => {
+                if state >> qs[0].index() & 1 == 1 {
+                    state ^= 1 << qs[1].index();
+                }
+            }
+            Gate::CCX => {
+                if state >> qs[0].index() & 1 == 1 && state >> qs[1].index() & 1 == 1 {
+                    state ^= 1 << qs[2].index();
+                }
+            }
+            Gate::Mcx(_) => {
+                let (controls, target) = qs.split_at(qs.len() - 1);
+                if controls.iter().all(|q| state >> q.index() & 1 == 1) {
+                    state ^= 1 << target[0].index();
+                }
+            }
+            Gate::Swap => {
+                let a = state >> qs[0].index() & 1;
+                let b = state >> qs[1].index() & 1;
+                if a != b {
+                    state ^= (1 << qs[0].index()) | (1 << qs[1].index());
+                }
+            }
+            Gate::CSwap => {
+                if state >> qs[0].index() & 1 == 1 {
+                    let a = state >> qs[1].index() & 1;
+                    let b = state >> qs[2].index() & 1;
+                    if a != b {
+                        state ^= (1 << qs[1].index()) | (1 << qs[2].index());
+                    }
+                }
+            }
+            other => panic!("classical_eval cannot evaluate gate {other}"),
+        }
+    }
+    state
+}
+
+/// A tiny 3-qubit double-Toffoli benchmark used in doctests and smoke
+/// tests (not part of Table I).
+pub fn toffoli_double() -> Benchmark {
+    let mut c = Circuit::with_name(3, "toffoli_double");
+    c.ccx(0, 1, 2).cx(0, 1);
+    Benchmark::new(
+        "toffoli_double",
+        "q2 ^= q0·q1 then q1 ^= q0",
+        c,
+        |x| {
+            let mut s = x;
+            if s & 0b01 != 0 && s & 0b10 != 0 {
+                s ^= 0b100;
+            }
+            if s & 0b01 != 0 {
+                s ^= 0b010;
+            }
+            s
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classical_eval_gate_coverage() {
+        let mut c = Circuit::new(4);
+        c.x(0) // 0001
+            .cx(0, 1) // 0011
+            .ccx(0, 1, 2) // 0111
+            .mcx(&[0, 1, 2], 3) // 1111
+            .swap(0, 3) // 1111 (both set)
+            .cswap(0, 1, 2); // no-op content-wise (both set)
+        assert_eq!(classical_eval(&c, 0), 0b1111);
+    }
+
+    #[test]
+    fn swap_moves_single_bit() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        assert_eq!(classical_eval(&c, 0b01), 0b10);
+        assert_eq!(classical_eval(&c, 0b10), 0b01);
+        assert_eq!(classical_eval(&c, 0b11), 0b11);
+    }
+
+    #[test]
+    fn cswap_needs_control() {
+        let mut c = Circuit::new(3);
+        c.cswap(2, 0, 1);
+        assert_eq!(classical_eval(&c, 0b001), 0b001); // control clear
+        assert_eq!(classical_eval(&c, 0b101), 0b110); // control set
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot evaluate")]
+    fn rejects_quantum_gates() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        classical_eval(&c, 0);
+    }
+
+    #[test]
+    fn toffoli_double_verifies() {
+        assert_eq!(toffoli_double().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn expected_output_is_image_of_zero() {
+        let b = toffoli_double();
+        assert_eq!(b.expected_output(), 0);
+    }
+}

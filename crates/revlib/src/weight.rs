@@ -1,0 +1,216 @@
+//! Hamming-weight benchmarks (the RevLib `rd` family).
+//!
+//! `rdXY` computes the binary weight of X input bits into Y output bits.
+//! Two synthesis styles are used, matching how the RevLib netlists of
+//! different sizes are built:
+//!
+//! * `rd53` — *symmetric-function* style: bit `k` of the weight is the XOR
+//!   of all AND-terms over `2ᵏ`-subsets of the inputs (Lucas' theorem).
+//! * `rd73`/`rd84` — *counter* style: one controlled increment of a binary
+//!   counter per input bit.
+
+use crate::spec::Benchmark;
+use qcir::Circuit;
+
+/// `rd53`: weight of 5 input bits (`q0..q4`) as a 3-bit number.
+///
+/// Output mapping (7 qubits total, like the RevLib netlist):
+/// * bit 2 of the weight → `q6` (XOR of all C(5,4)=5 quad ANDs),
+/// * bit 1 of the weight → `q5` (XOR of all C(5,2)=10 pair ANDs),
+/// * bit 0 (parity) folds onto `q4` (4 CX), leaving `q4` as output/garbage.
+///
+/// 5 + 10 + 4 = 19 gates — the exact Table I count.
+///
+/// # Example
+///
+/// ```
+/// use revlib::rd53;
+///
+/// let bench = rd53();
+/// let out = bench.eval(0b00111); // weight 3 = 0b011
+/// assert_eq!(out >> 4 & 1, 1); // w0 on q4
+/// assert_eq!(out >> 5 & 1, 1); // w1 on q5
+/// assert_eq!(out >> 6 & 1, 0); // w2 on q6
+/// ```
+pub fn rd53() -> Benchmark {
+    let mut c = Circuit::with_name(7, "rd53");
+    // w2 = XOR over 4-subsets (must read original inputs, so done first).
+    for skip in 0..5u32 {
+        let controls: Vec<u32> = (0..5).filter(|&q| q != skip).collect();
+        c.mcx(&controls, 6);
+    }
+    // w1 = XOR over 2-subsets.
+    for a in 0..5u32 {
+        for b in a + 1..5 {
+            c.ccx(a, b, 5);
+        }
+    }
+    // w0 = parity folded onto q4.
+    for a in 0..4u32 {
+        c.cx(a, 4);
+    }
+    Benchmark::new(
+        "rd53",
+        "weight of q0..q4: w0→q4, w1→q5, w2→q6 (symmetric-function form)",
+        c,
+        |s| {
+            let w = (s & 0b11111).count_ones() as usize;
+            let rest = s & !0b111_0000 & !0b10000;
+            let q4 = w & 1;
+            let q5 = (s >> 5 & 1) ^ ((w >> 1) & 1);
+            let q6 = (s >> 6 & 1) ^ ((w >> 2) & 1);
+            (rest & 0b1111) | (q4 << 4) | (q5 << 5) | (q6 << 6)
+        },
+    )
+}
+
+/// Builds a counter-style `rd` benchmark: `inputs` input bits on
+/// `q0..inputs-1`, a `counter_bits`-wide binary counter on the top wires,
+/// one controlled increment per input.
+fn counter_rd(
+    name: &'static str,
+    description: &'static str,
+    inputs: u32,
+    counter_bits: u32,
+) -> Benchmark {
+    let n = inputs + counter_bits;
+    let mut c = Circuit::with_name(n, name);
+    for x in 0..inputs {
+        // Controlled increment, most-significant carry first:
+        // c_{k} ^= x · c_0 · … · c_{k-1}.
+        for k in (0..counter_bits).rev() {
+            let mut controls: Vec<u32> = vec![x];
+            controls.extend(inputs..inputs + k);
+            c.mcx(&controls, inputs + k);
+        }
+    }
+    c_with_reference(name, description, c, inputs, counter_bits)
+}
+
+fn c_with_reference(
+    name: &'static str,
+    description: &'static str,
+    circuit: Circuit,
+    inputs: u32,
+    counter_bits: u32,
+) -> Benchmark {
+    // The reference must be a `fn`, so dispatch on (inputs, counter_bits)
+    // through dedicated monomorphic functions.
+    fn reference_impl(s: usize, inputs: u32, counter_bits: u32) -> usize {
+        let input_mask = (1usize << inputs) - 1;
+        let x = s & input_mask;
+        let w = x.count_ones() as usize;
+        let counter = (s >> inputs) & ((1 << counter_bits) - 1);
+        let new_counter = (counter + w) & ((1 << counter_bits) - 1);
+        x | (new_counter << inputs)
+    }
+    let reference: fn(usize) -> usize = match (inputs, counter_bits) {
+        (7, 3) => |s| reference_impl(s, 7, 3),
+        (8, 4) => |s| reference_impl(s, 8, 4),
+        (4, 3) => |s| reference_impl(s, 4, 3),
+        _ => panic!("no reference registered for rd({inputs},{counter_bits})"),
+    };
+    Benchmark::new(name, description, circuit, reference)
+}
+
+/// `rd73`: weight of 7 inputs into a 3-bit counter on `q7..q9`
+/// (10 qubits, 21 gates — paper: 23).
+pub fn rd73() -> Benchmark {
+    counter_rd(
+        "rd73",
+        "weight of q0..q6 accumulated into 3-bit counter q7..q9",
+        7,
+        3,
+    )
+}
+
+/// `rd84`: weight of 8 inputs into a 4-bit counter on `q8..q11`
+/// (12 qubits, 32 gates — the exact Table I count).
+pub fn rd84() -> Benchmark {
+    counter_rd(
+        "rd84",
+        "weight of q0..q7 accumulated into 4-bit counter q8..q11",
+        8,
+        4,
+    )
+}
+
+/// Small counter workload for tests: 4 inputs, 3-bit counter.
+pub fn rd43() -> Benchmark {
+    counter_rd(
+        "rd43",
+        "weight of q0..q3 accumulated into 3-bit counter q4..q6",
+        4,
+        3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd53_exhaustive() {
+        assert_eq!(rd53().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn rd53_weight_bits() {
+        let b = rd53();
+        for x in 0..32usize {
+            let out = b.eval_circuit(x);
+            let w = x.count_ones() as usize;
+            assert_eq!(out >> 4 & 1, w & 1, "w0 for x={x}");
+            assert_eq!(out >> 5 & 1, (w >> 1) & 1, "w1 for x={x}");
+            assert_eq!(out >> 6 & 1, (w >> 2) & 1, "w2 for x={x}");
+        }
+    }
+
+    #[test]
+    fn rd53_matches_paper_count() {
+        let b = rd53();
+        assert_eq!(b.circuit().num_qubits(), 7);
+        assert_eq!(b.circuit().gate_count(), 19); // paper: 19
+    }
+
+    #[test]
+    fn rd73_exhaustive() {
+        assert_eq!(rd73().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn rd73_shape() {
+        let b = rd73();
+        assert_eq!(b.circuit().num_qubits(), 10);
+        assert_eq!(b.circuit().gate_count(), 21); // paper: 23
+    }
+
+    #[test]
+    fn rd84_exhaustive() {
+        assert_eq!(rd84().verify_exhaustive(), None);
+    }
+
+    #[test]
+    fn rd84_shape() {
+        let b = rd84();
+        assert_eq!(b.circuit().num_qubits(), 12);
+        assert_eq!(b.circuit().gate_count(), 32); // paper: 32
+    }
+
+    #[test]
+    fn rd84_counts_all_ones() {
+        let b = rd84();
+        let out = b.eval_circuit(0xFF);
+        assert_eq!(out >> 8, 8, "count of 8 ones");
+    }
+
+    #[test]
+    fn rd43_counter_saturates_mod_8() {
+        let b = rd43();
+        assert_eq!(b.verify_exhaustive(), None);
+        // Preloaded counter wraps modulo 8.
+        let preload = 0b111 << 4; // counter = 7
+        let out = b.eval_circuit(preload | 0b0011); // +2 → 9 mod 8 = 1
+        assert_eq!(out >> 4, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Reproduces the *look* of the paper's Figures 2 and 3: the same
+//! obfuscated 6-qubit circuit split two different ways, showing the
+//! jagged (Tetris-like) boundary and the mismatched qubit counts of the
+//! resulting segments.
+//!
+//! ```text
+//! cargo run -p examples --bin interlocking_patterns
+//! ```
+
+use qcir::{display, Circuit};
+use tetrislock::{InterlockPattern, Obfuscator};
+
+fn main() {
+    // A 6-qubit staircase circuit in the spirit of Figure 2's example:
+    // wires come alive one layer at a time, leaving the leading idle
+    // region the random circuit R and its inverse are hidden in.
+    let mut c = Circuit::with_name(6, "fig2_demo");
+    c.h(0)
+        .cx(0, 1)
+        .x(1)
+        .cx(1, 2)
+        .h(2)
+        .cx(2, 3)
+        .cx(3, 4)
+        .x(3)
+        .cx(4, 5)
+        .h(5);
+
+    let obf = Obfuscator::new().with_seed(2024).obfuscate(&c);
+    println!(
+        "obfuscated circuit ({} qubits, {} gates, depth {} — unchanged):\n",
+        obf.obfuscated().num_qubits(),
+        obf.obfuscated().gate_count(),
+        obf.obfuscated().depth()
+    );
+    print!("{}", display::render(obf.obfuscated()));
+
+    for (figure, seed) in [("Figure 2", 1u64), ("Figure 3", 99u64)] {
+        let pattern = InterlockPattern::random_for(&obf, seed);
+        let split = obf.split_with(&pattern);
+        println!("\n==== {figure}-style split (pattern cuts: {:?}) ====", pattern.cuts());
+        let cut_markers: Vec<(u32, usize)> = pattern
+            .cuts()
+            .iter()
+            .enumerate()
+            .map(|(q, &c)| (q as u32, c))
+            .collect();
+        print!("{}", display::render_with_cuts(obf.obfuscated(), &cut_markers));
+        println!(
+            "split 1: {} qubits, {} gates    split 2: {} qubits, {} gates    mismatched: {}",
+            split.left.circuit.num_qubits(),
+            split.left.circuit.gate_count(),
+            split.right.circuit.num_qubits(),
+            split.right.circuit.gate_count(),
+            split.has_mismatched_qubits(),
+        );
+        println!("\nsplit 1 as its own circuit (compiler A's view):");
+        print!("{}", display::render(&split.left.circuit));
+        println!("split 2 as its own circuit (compiler B's view):");
+        print!("{}", display::render(&split.right.circuit));
+    }
+    println!("\nas in Figure 3: the two splits have different numbers of qubits and");
+    println!("not every original qubit needs to be split at the same column.");
+}

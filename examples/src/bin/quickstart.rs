@@ -1,0 +1,62 @@
+//! Quickstart: protect a circuit with TetrisLock in five steps.
+//!
+//! ```text
+//! cargo run -p examples --bin quickstart
+//! ```
+
+use qcir::{display, Circuit};
+use qsim::unitary::equivalent_up_to_phase;
+use tetrislock::recombine::recombine;
+use tetrislock::Obfuscator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The secret design: a 4-qubit reversible full adder.
+    let bench = revlib::adder_1bit();
+    let circuit: &Circuit = bench.circuit();
+    println!("== original circuit (the IP to protect) ==");
+    print!("{}", display::render(circuit));
+    println!(
+        "depth {}, {} gates\n",
+        circuit.depth(),
+        circuit.gate_count()
+    );
+
+    // 2. Obfuscate: random gates + their inverses land in empty slots.
+    let obf = Obfuscator::new().with_seed(42).obfuscate(circuit);
+    println!(
+        "== obfuscated (R⁻¹RC): {} gates inserted, depth change {} ==",
+        obf.insertion().gate_overhead(),
+        obf.depth_increase()
+    );
+    print!("{}", display::render(obf.obfuscated()));
+    println!();
+
+    // 3. Split along an interlocking pattern.
+    let split = obf.split(7);
+    println!(
+        "== split: left segment {} qubits / {} gates, right segment {} qubits / {} gates ==",
+        split.left.circuit.num_qubits(),
+        split.left.circuit.gate_count(),
+        split.right.circuit.num_qubits(),
+        split.right.circuit.gate_count(),
+    );
+    println!("left (goes to compiler A):");
+    print!("{}", display::render(&split.left.circuit));
+    println!("right (goes to compiler B):");
+    print!("{}", display::render(&split.right.circuit));
+    println!(
+        "qubit counts differ: {}\n",
+        split.has_mismatched_qubits()
+    );
+
+    // 4. Each compiler sees only its segment... (see the
+    //    `untrusted_compiler_flow` example for actual compilation).
+
+    // 5. De-obfuscate: recombine and verify the function is restored.
+    let restored = recombine(&split)?;
+    let same = equivalent_up_to_phase(circuit, &restored, 1e-9)?;
+    println!("== recombined ==");
+    println!("functionally identical to the original: {same}");
+    assert!(same);
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Example host crate; binaries live in `src/bin/`.

@@ -1,0 +1,72 @@
+//! Property-based tests for the transpiler: for arbitrary (random)
+//! unitary circuits, compilation to a constrained device must preserve
+//! semantics and produce device-conformant output.
+
+use proptest::prelude::*;
+use qcir::random::{random_unitary_circuit, RandomCircuitConfig};
+use qcompile::transpiler::conforms_to_device;
+use qcompile::{OptimizationLevel, Transpiler};
+use qsim::unitary::circuit_unitary;
+use qsim::Device;
+
+fn check_compiled_equivalence(seed: u64, num_gates: usize, level: OptimizationLevel) {
+    let circuit = random_unitary_circuit(&RandomCircuitConfig::new(4, num_gates, seed));
+    let device = Device::fake_valencia();
+    let out = Transpiler::new(device.clone())
+        .with_optimization(level)
+        .transpile(&circuit)
+        .expect("4-qubit circuit fits on valencia");
+    assert!(
+        conforms_to_device(&out.circuit, &device),
+        "seed {seed}: output not device-conformant"
+    );
+    let logical = out.into_logical_circuit();
+    let mut padded = qcir::Circuit::new(logical.num_qubits());
+    padded.compose(&circuit).expect("padding");
+    let ua = circuit_unitary(&padded).expect("fits");
+    let ub = circuit_unitary(&logical).expect("fits");
+    assert!(
+        ua.approx_eq_up_to_phase(&ub, 1e-7),
+        "seed {seed}: transpilation changed the unitary"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn transpile_preserves_random_unitaries_light(seed in 0u64..10_000) {
+        check_compiled_equivalence(seed, 14, OptimizationLevel::Light);
+    }
+
+    #[test]
+    fn transpile_preserves_random_unitaries_full(seed in 0u64..10_000) {
+        check_compiled_equivalence(seed, 14, OptimizationLevel::Full);
+    }
+
+    #[test]
+    fn optimizer_passes_preserve_random_unitaries(seed in 0u64..10_000) {
+        use qcompile::optimize::{cancel_commuting_pairs, optimize_aggressive};
+        let circuit = random_unitary_circuit(&RandomCircuitConfig::new(4, 18, seed));
+        let mut optimized = circuit.clone();
+        optimize_aggressive(&mut optimized);
+        cancel_commuting_pairs(&mut optimized);
+        let ua = circuit_unitary(&circuit).expect("fits");
+        let ub = circuit_unitary(&optimized).expect("fits");
+        prop_assert!(
+            ua.approx_eq_up_to_phase(&ub, 1e-7),
+            "seed {} broke equivalence", seed
+        );
+    }
+
+    #[test]
+    fn decomposition_preserves_random_reversible(seed in 0u64..10_000) {
+        use qcir::random::random_reversible;
+        use qcompile::decompose::decompose_to_cx;
+        let circuit = random_reversible(&RandomCircuitConfig::new(5, 12, seed));
+        let lowered = decompose_to_cx(&circuit);
+        let ua = circuit_unitary(&circuit).expect("fits");
+        let ub = circuit_unitary(&lowered).expect("fits");
+        prop_assert!(ua.approx_eq_up_to_phase(&ub, 1e-7));
+    }
+}

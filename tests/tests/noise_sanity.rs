@@ -1,0 +1,110 @@
+//! Noise-model sanity checks across crates: accuracy scales with error
+//! rates, the fast classical path agrees with the statevector path, and
+//! the metrics behave under noise.
+
+use qmetrics::{accuracy, tvd, tvd_vs_ideal};
+use qsim::noise::NoiseModel;
+use qsim::{Device, Sampler};
+use revlib::{adder_1bit, rd53};
+
+#[test]
+fn accuracy_decreases_with_noise_strength() {
+    let bench = adder_1bit();
+    let expected = bench.expected_output();
+    let mut last = 1.01;
+    for (i, err) in [0.0, 0.005, 0.02, 0.08].iter().enumerate() {
+        let noise = NoiseModel::builder()
+            .one_qubit_error(*err)
+            .two_qubit_error(*err)
+            .readout_error(*err / 2.0)
+            .build();
+        let counts = Sampler::new(4000)
+            .with_seed(100 + i as u64)
+            .run_noisy(bench.circuit(), &noise)
+            .unwrap();
+        let acc = accuracy(&counts, expected);
+        assert!(
+            acc < last + 0.02,
+            "accuracy did not trend down: {acc} after {last} at err {err}"
+        );
+        last = acc;
+    }
+    assert!(last < 0.8, "strongest noise should visibly hurt: {last}");
+}
+
+#[test]
+fn zero_noise_gives_perfect_accuracy_for_classical_circuits() {
+    for bench in revlib::table1_benchmarks() {
+        let counts = Sampler::new(500)
+            .with_seed(7)
+            .run_noisy(bench.circuit(), &NoiseModel::ideal())
+            .unwrap();
+        assert_eq!(accuracy(&counts, bench.expected_output()), 1.0, "{}", bench.name());
+    }
+}
+
+#[test]
+fn valencia_accuracy_in_paper_range() {
+    // Paper Table I: original-circuit accuracy between ~0.87 and ~0.99.
+    for bench in revlib::table1_benchmarks() {
+        let device = if bench.circuit().num_qubits() <= 5 {
+            Device::fake_valencia()
+        } else {
+            Device::fake_valencia_extended(bench.circuit().num_qubits())
+        };
+        let counts = Sampler::new(1000)
+            .with_seed(13)
+            .run_noisy(bench.circuit(), device.noise())
+            .unwrap();
+        let acc = accuracy(&counts, bench.expected_output());
+        assert!(
+            (0.8..=1.0).contains(&acc),
+            "{}: accuracy {acc} outside the plausible band",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn classical_and_statevector_paths_agree_statistically() {
+    // Force the slow path by appending a CZ (diagonal, outcome-invisible)
+    // and compare against the pure-classical circuit.
+    let bench = adder_1bit();
+    let mut quantum = bench.circuit().clone();
+    quantum.cz(0, 1);
+    let noise = NoiseModel::builder()
+        .one_qubit_error(0.01)
+        .two_qubit_error(0.02)
+        .readout_error(0.01)
+        .build();
+    let fast = Sampler::new(6000).with_seed(1).run_noisy(bench.circuit(), &noise).unwrap();
+    let slow = Sampler::new(6000).with_seed(2).run_noisy(&quantum, &noise).unwrap();
+    let d = tvd(&fast, &slow);
+    assert!(d < 0.06, "paths diverge: tvd = {d}");
+}
+
+#[test]
+fn tvd_of_noisy_self_is_small() {
+    let bench = rd53();
+    let device = Device::fake_valencia_extended(7);
+    let a = Sampler::new(2000).with_seed(3).run_noisy(bench.circuit(), device.noise()).unwrap();
+    let b = Sampler::new(2000).with_seed(4).run_noisy(bench.circuit(), device.noise()).unwrap();
+    assert!(tvd(&a, &b) < 0.1);
+    // And TVD vs the ideal output reflects the noise level, not zero.
+    let t = tvd_vs_ideal(&a, bench.expected_output());
+    assert!(t > 0.0 && t < 0.3, "tvd_vs_ideal = {t}");
+}
+
+#[test]
+fn extended_device_noise_grows_with_register() {
+    // More qubits → more readout corruption on the all-qubit measurement.
+    let small = Sampler::new(4000)
+        .with_seed(5)
+        .run_noisy(&qcir::Circuit::new(2), Device::fake_valencia_extended(2).noise())
+        .unwrap();
+    let large = Sampler::new(4000)
+        .with_seed(6)
+        .run_noisy(&qcir::Circuit::new(12), Device::fake_valencia_extended(12).noise())
+        .unwrap();
+    assert!(small.probability(0) > large.probability(0));
+}

@@ -1,0 +1,158 @@
+//! Property-based tests (proptest) over randomly generated circuits:
+//! the TetrisLock invariants must hold for *arbitrary* classical
+//! reversible circuits, not just the RevLib set.
+
+use proptest::prelude::*;
+use qcir::{Circuit, Gate};
+use revlib::spec::classical_eval;
+use tetrislock::recombine::recombine;
+use tetrislock::{InsertionConfig, Obfuscator};
+
+/// Strategy: a random classical reversible circuit over `n` qubits.
+fn classical_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (3..=max_qubits, 1..=max_gates).prop_flat_map(|(n, len)| {
+        let gate = prop_oneof![
+            // X on a random wire.
+            (0..n).prop_map(|q| (Gate::X, vec![q])),
+            // CX on two distinct wires.
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::CX, vec![a, b]))
+            }),
+            // CCX on three distinct wires.
+            (0..n, 0..n, 0..n).prop_filter_map("distinct wires", move |(a, b, c)| {
+                (a != b && b != c && a != c).then(|| (Gate::CCX, vec![a, b, c]))
+            }),
+        ];
+        proptest::collection::vec(gate, 1..=len).prop_map(move |gates| {
+            let mut circuit = Circuit::with_name(n, "prop");
+            for (g, wires) in gates {
+                circuit.append(g, &wires).expect("generated wires valid");
+            }
+            circuit
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn obfuscation_preserves_depth(
+        circuit in classical_circuit(7, 20),
+        seed in 0u64..1000,
+    ) {
+        let obf = Obfuscator::new().with_seed(seed).obfuscate(&circuit);
+        prop_assert_eq!(obf.obfuscated().depth(), circuit.depth());
+    }
+
+    #[test]
+    fn obfuscation_preserves_function_on_all_inputs(
+        circuit in classical_circuit(6, 16),
+        seed in 0u64..1000,
+    ) {
+        let obf = Obfuscator::new().with_seed(seed).obfuscate(&circuit);
+        let n = circuit.num_qubits();
+        for input in 0..1usize << n {
+            prop_assert_eq!(
+                classical_eval(obf.obfuscated(), input),
+                classical_eval(&circuit, input),
+                "diverged at input {}", input
+            );
+        }
+    }
+
+    #[test]
+    fn split_recombination_is_exact(
+        circuit in classical_circuit(6, 16),
+        seed in 0u64..1000,
+        split_seed in 0u64..1000,
+    ) {
+        let obf = Obfuscator::new().with_seed(seed).obfuscate(&circuit);
+        let split = obf.split(split_seed);
+        let restored = recombine(&split).unwrap();
+        let n = circuit.num_qubits();
+        for input in 0..1usize << n {
+            prop_assert_eq!(
+                classical_eval(&restored, input),
+                classical_eval(&circuit, input),
+                "diverged at input {}", input
+            );
+        }
+    }
+
+    #[test]
+    fn split_partitions_gate_count(
+        circuit in classical_circuit(7, 20),
+        seed in 0u64..1000,
+    ) {
+        let obf = Obfuscator::new().with_seed(seed).obfuscate(&circuit);
+        let split = obf.split(seed ^ 0xABCD);
+        prop_assert_eq!(
+            split.left.circuit.gate_count() + split.right.circuit.gate_count(),
+            obf.obfuscated().gate_count()
+        );
+    }
+
+    #[test]
+    fn gate_budget_respected(
+        circuit in classical_circuit(7, 20),
+        seed in 0u64..1000,
+        limit in 0usize..=6,
+    ) {
+        let obf = Obfuscator::new()
+            .with_config(InsertionConfig { seed, gate_limit: limit, ..Default::default() })
+            .obfuscate(&circuit);
+        prop_assert!(obf.insertion().gate_overhead() <= limit);
+    }
+
+    #[test]
+    fn circuit_inverse_roundtrip(circuit in classical_circuit(6, 16)) {
+        // (C⁻¹)⁻¹ = C structurally, and C·C⁻¹ = identity functionally.
+        let double = circuit.inverse().inverse();
+        prop_assert_eq!(double.instructions(), circuit.instructions());
+        let composed = circuit.then(&circuit.inverse()).unwrap();
+        let n = circuit.num_qubits();
+        for input in 0..1usize << n {
+            prop_assert_eq!(classical_eval(&composed, input), input);
+        }
+    }
+
+    #[test]
+    fn qasm_roundtrip_random_classical(circuit in classical_circuit(6, 16)) {
+        let text = qcir::qasm::to_qasm(&circuit);
+        let back = qcir::qasm::from_qasm(&text).unwrap();
+        prop_assert_eq!(back.instructions(), circuit.instructions());
+    }
+
+    #[test]
+    fn real_roundtrip_random_classical(circuit in classical_circuit(6, 16)) {
+        let text = qcir::real::to_real(&circuit).unwrap();
+        let back = qcir::real::from_real(&text).unwrap();
+        prop_assert_eq!(back.instructions(), circuit.instructions());
+    }
+
+    #[test]
+    fn classical_eval_is_a_permutation(circuit in classical_circuit(6, 16)) {
+        let n = circuit.num_qubits();
+        let mut seen = vec![false; 1 << n];
+        for input in 0..1usize << n {
+            let out = classical_eval(&circuit, input);
+            prop_assert!(!seen[out], "not injective at {}", input);
+            seen[out] = true;
+        }
+    }
+
+    #[test]
+    fn statevector_matches_classical_eval_on_samples(
+        circuit in classical_circuit(5, 12),
+        input in 0usize..32,
+    ) {
+        use qsim::Statevector;
+        let n = circuit.num_qubits();
+        let input = input & ((1 << n) - 1);
+        let mut sv = Statevector::basis(n, input).unwrap();
+        sv.apply_circuit(&circuit).unwrap();
+        let expected = classical_eval(&circuit, input);
+        prop_assert!((sv.probability(expected) - 1.0).abs() < 1e-9);
+    }
+}

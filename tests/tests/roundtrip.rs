@@ -1,0 +1,172 @@
+//! End-to-end roundtrip: obfuscate → split → recombine must restore the
+//! exact function of every RevLib benchmark, across seeds.
+//!
+//! For the classical benchmarks the check is *exhaustive over all basis
+//! inputs* (the recombined circuit, evaluated as a classical permutation,
+//! must equal the benchmark's independent reference).
+
+use revlib::spec::classical_eval;
+use revlib::{all_benchmarks, table1_benchmarks};
+use tetrislock::recombine::recombine;
+use tetrislock::{InsertionConfig, Obfuscator};
+
+#[test]
+fn obfuscation_preserves_every_benchmark_exhaustively() {
+    for bench in all_benchmarks() {
+        let c = bench.circuit();
+        for seed in 0..5u64 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(c);
+            let n = c.num_qubits();
+            for input in 0..1usize << n {
+                assert_eq!(
+                    classical_eval(obf.obfuscated(), input),
+                    bench.eval(input),
+                    "{} seed {seed} input {input}: obfuscation broke the function",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn split_and_recombine_restores_every_benchmark() {
+    for bench in table1_benchmarks() {
+        let c = bench.circuit();
+        for seed in 0..5u64 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(c);
+            let split = obf.split(seed.wrapping_mul(31) + 5);
+            let restored = recombine(&split).expect("recombination is total");
+            let n = c.num_qubits();
+            for input in 0..1usize << n {
+                assert_eq!(
+                    classical_eval(&restored, input),
+                    bench.eval(input),
+                    "{} seed {seed} input {input}: recombination diverged",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_never_grows_for_any_benchmark_or_seed() {
+    for bench in all_benchmarks() {
+        let c = bench.circuit();
+        for seed in 0..10u64 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(c);
+            assert_eq!(
+                obf.obfuscated().depth(),
+                c.depth(),
+                "{} seed {seed}: depth changed",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_pair_is_separated_by_the_split() {
+    for bench in table1_benchmarks() {
+        let c = bench.circuit();
+        for seed in 0..5u64 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(c);
+            let split = obf.split(seed + 1000);
+            for pair in &obf.insertion().pairs {
+                let inv = obf.obfuscated().instructions()[pair.inverse_index].clone();
+                let fwd = obf.obfuscated().instructions()[pair.forward_index].clone();
+                let inv_in_left = inv
+                    .remapped(&split.left.wire_map)
+                    .map(|m| split.left.circuit.iter().any(|i| *i == m))
+                    .unwrap_or(false);
+                let fwd_in_right = fwd
+                    .remapped(&split.right.wire_map)
+                    .map(|m| split.right.circuit.iter().any(|i| *i == m))
+                    .unwrap_or(false);
+                assert!(
+                    inv_in_left && fwd_in_right,
+                    "{} seed {seed}: pair {:?} not separated",
+                    bench.name(),
+                    pair.gate
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn masking_corrupts_output_for_most_insertions() {
+    // Figure 4's premise: the masked view RC (key withheld) produces a
+    // different result than the original on the zero input whenever an X
+    // half actually fires. Check that masking changes the function for a
+    // healthy fraction of seeded runs on the multi-bit circuits.
+    for bench in [revlib::rd53(), revlib::rd73(), revlib::rd84()] {
+        let c = bench.circuit();
+        let mut corrupted = 0;
+        let mut inserted_any = 0;
+        for seed in 0..10u64 {
+            let obf = Obfuscator::new().with_seed(seed).obfuscate(c);
+            if obf.inserted_count() == 0 {
+                continue;
+            }
+            inserted_any += 1;
+            let masked = obf.masked_circuit();
+            if classical_eval(&masked, 0) != bench.eval(0) {
+                corrupted += 1;
+            }
+        }
+        assert!(inserted_any >= 8, "{}: almost no insertions", bench.name());
+        assert!(
+            corrupted * 2 >= inserted_any,
+            "{}: masking corrupted only {corrupted}/{inserted_any} runs",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn multiway_splits_restore_every_benchmark() {
+    use tetrislock::multiway::MultiwayPattern;
+    for bench in table1_benchmarks() {
+        let c = bench.circuit();
+        let n = c.num_qubits();
+        for k in [3usize, 4] {
+            let obf = Obfuscator::new().with_seed(2).obfuscate(c);
+            let pattern = MultiwayPattern::random_for(&obf, k, 9);
+            let split = pattern.split(&obf);
+            let restored = split.recombine().expect("recombination is total");
+            // Sampled inputs for the big registers, exhaustive for small.
+            let step = if n > 8 { 13 } else { 1 };
+            for input in (0..1usize << n).step_by(step) {
+                assert_eq!(
+                    classical_eval(&restored, input),
+                    bench.eval(input),
+                    "{} k={k} input {input}",
+                    bench.name()
+                );
+            }
+            // Pair halves in ascending segments.
+            for pair in &obf.insertion().pairs {
+                assert!(
+                    split.assignment[pair.inverse_index] < split.assignment[pair.forward_index],
+                    "{} k={k}: pair not separated",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_overhead_within_paper_budget() {
+    // Paper: "a total of 1–4 gates inserted", default budget 4.
+    for bench in table1_benchmarks() {
+        for seed in 0..10u64 {
+            let obf = Obfuscator::new()
+                .with_config(InsertionConfig { seed, ..Default::default() })
+                .obfuscate(bench.circuit());
+            assert!(obf.insertion().gate_overhead() <= 4);
+        }
+    }
+}
