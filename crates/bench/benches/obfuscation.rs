@@ -13,8 +13,10 @@ fn bench_obfuscate(c: &mut Criterion) {
             BenchmarkId::from_parameter(bench.name()),
             bench.circuit(),
             |b, circuit| {
-                let obfuscator = Obfuscator::new()
-                    .with_config(InsertionConfig { seed: 1, ..Default::default() });
+                let obfuscator = Obfuscator::new().with_config(InsertionConfig {
+                    seed: 1,
+                    ..Default::default()
+                });
                 b.iter(|| obfuscator.obfuscate(circuit));
             },
         );

@@ -27,7 +27,10 @@ fn main() {
     let expected = bench.expected_output();
 
     println!("== ablation 1: insertion budget (rd53, X/CX policy) ==");
-    println!("{:<6} {:>9} {:>12} {:>10}", "limit", "inserted", "TVD masked", "depth Δ");
+    println!(
+        "{:<6} {:>9} {:>12} {:>10}",
+        "limit", "inserted", "TVD masked", "depth Δ"
+    );
     for limit in [0usize, 2, 4, 6, 8] {
         let mut inserted = Vec::new();
         let mut tvds = Vec::new();

@@ -1,7 +1,7 @@
 //! Regenerates the paper's **§IV-C attack-complexity comparison**
 //! (Eq. 1): qubit-matching effort for a colluding compiler under
 //! TetrisLock's mismatched-width interlocking split vs the equal-width
-//! cascading split of Saki et al. [20].
+//! cascading split of Saki et al. \[20\].
 //!
 //! ```text
 //! cargo run -p bench --bin attack_complexity --release

@@ -1,9 +1,9 @@
 //! Regenerates the paper's **§II-C / §IV-C qualitative comparison**
 //! against prior defenses:
 //!
-//! * random reversible-circuit insertion (Das & Ghosh [16]) — prepends
+//! * random reversible-circuit insertion (Das & Ghosh \[16\]) — prepends
 //!   `R`, growing depth and leaving a straight `R|C` boundary;
-//! * cascading split compilation (Saki et al. [20]) — equal qubit counts
+//! * cascading split compilation (Saki et al. \[20\]) — equal qubit counts
 //!   on both sides, enabling the `kₙ·n!` matching attack;
 //! * TetrisLock — zero depth overhead, jagged boundary, mismatched qubit
 //!   counts.
@@ -54,7 +54,10 @@ fn main() {
         let mut sample_sizes = (0u32, 0u32);
         for &s in &seeds {
             let obf = Obfuscator::new()
-                .with_config(InsertionConfig { seed: s, ..Default::default() })
+                .with_config(InsertionConfig {
+                    seed: s,
+                    ..Default::default()
+                })
                 .obfuscate(c);
             tetris_depth_delta.push(obf.depth_increase() as f64);
             let split = obf.split(s + 99);

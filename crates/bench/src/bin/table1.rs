@@ -11,9 +11,7 @@ use revlib::table1_benchmarks;
 
 fn main() {
     println!("Table I — circuit parameters before/after obfuscation");
-    println!(
-        "(averages of {ITERATIONS} iterations, {SHOTS} shots, FakeValencia-style noise)\n"
-    );
+    println!("(averages of {ITERATIONS} iterations, {SHOTS} shots, FakeValencia-style noise)\n");
     println!(
         "{:<12} {:>5} {:>9} {:>6} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9}",
         "Circuit",

@@ -9,8 +9,8 @@ use std::path::Path;
 ///
 /// Returns a human-readable message on I/O or parse failure.
 pub fn read_circuit(path: &Path) -> Result<Circuit, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let circuit = match extension(path) {
         "real" => real::from_real(&text).map_err(|e| format!("{}: {e}", path.display()))?,
         _ => qasm::from_qasm(&text).map_err(|e| format!("{}: {e}", path.display()))?,

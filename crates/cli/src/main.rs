@@ -117,10 +117,17 @@ fn inspect(args: &[String]) -> Result<(), String> {
     );
     let stats = qcir::stats::CircuitStats::of(&circuit);
     println!("{stats}");
-    let summary: Vec<String> = stats.histogram.iter().map(|(g, n)| format!("{g}×{n}")).collect();
+    let summary: Vec<String> = stats
+        .histogram
+        .iter()
+        .map(|(g, n)| format!("{g}×{n}"))
+        .collect();
     println!("gates: {}", summary.join(", "));
     let timing = qcompile::schedule::schedule(&circuit, &qcompile::schedule::GateTimes::falcon());
-    println!("estimated duration: {:.0} ns (falcon gate times)", timing.duration_ns);
+    println!(
+        "estimated duration: {:.0} ns (falcon gate times)",
+        timing.duration_ns
+    );
     let slots = tetrislock::slots::SlotTable::new(&circuit);
     println!(
         "empty slots: {} cells across {} layers",
@@ -137,12 +144,18 @@ fn protect(args: &[String]) -> Result<(), String> {
     let (paths, options) = parse(args)?;
     let input = paths.first().ok_or("protect expects a circuit file")?;
     let meta_path = PathBuf::from(required(&options, "meta")?);
-    let seed: u64 = option(&options, "seed").unwrap_or("0").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 = option(&options, "seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let split_seed: u64 = option(&options, "split-seed")
         .unwrap_or("1")
         .parse()
         .map_err(|_| "bad --split-seed")?;
-    let limit: usize = option(&options, "limit").unwrap_or("4").parse().map_err(|_| "bad --limit")?;
+    let limit: usize = option(&options, "limit")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "bad --limit")?;
     let segments: usize = option(&options, "segments")
         .unwrap_or("2")
         .parse()
@@ -276,7 +289,10 @@ fn recombine_cmd(args: &[String]) -> Result<(), String> {
     if let Some(original_path) = option(&options, "verify") {
         let original = io::read_circuit(Path::new(original_path))?;
         let ok = check_equivalence(&original, &restored)?;
-        println!("verification against {original_path}: {}", if ok { "PASS" } else { "FAIL" });
+        println!(
+            "verification against {original_path}: {}",
+            if ok { "PASS" } else { "FAIL" }
+        );
         if !ok {
             return Err("restored circuit does not match the original".into());
         }
@@ -584,7 +600,12 @@ mod tests {
         b.x(1);
         io::write_circuit(&a_path, &a).unwrap();
         io::write_circuit(&b_path, &b).unwrap();
-        assert!(run(&s(&["verify", a_path.to_str().unwrap(), b_path.to_str().unwrap()])).is_err());
+        assert!(run(&s(&[
+            "verify",
+            a_path.to_str().unwrap(),
+            b_path.to_str().unwrap()
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub struct Meta {
 }
 
 fn invert(m: &BTreeMap<Qubit, Qubit>) -> BTreeMap<u32, u32> {
-    m.iter().map(|(&orig, &seg)| (seg.raw(), orig.raw())).collect()
+    m.iter()
+        .map(|(&orig, &seg)| (seg.raw(), orig.raw()))
+        .collect()
 }
 
 impl Meta {
@@ -127,7 +129,9 @@ impl Meta {
                     meta.source = parts.collect::<Vec<_>>().join(" ");
                 }
                 Some("map") => {
-                    let side = parts.next().ok_or_else(|| format!("line {}: map side", lineno + 1))?;
+                    let side = parts
+                        .next()
+                        .ok_or_else(|| format!("line {}: map side", lineno + 1))?;
                     let seg: u32 = parts
                         .next()
                         .and_then(|v| v.parse().ok())
@@ -152,7 +156,9 @@ impl Meta {
                             }
                             meta.segment_maps[index].insert(seg, orig);
                         }
-                        other => return Err(format!("line {}: unknown side `{other}`", lineno + 1)),
+                        other => {
+                            return Err(format!("line {}: unknown side `{other}`", lineno + 1))
+                        }
                     };
                 }
                 Some(other) => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),

@@ -123,7 +123,16 @@ mod tests {
 
     fn sample() -> Circuit {
         let mut c = Circuit::with_name(6, "analysis");
-        c.h(0).cx(0, 1).x(1).cx(1, 2).h(2).cx(2, 3).cx(3, 4).x(3).cx(4, 5).h(5);
+        c.h(0)
+            .cx(0, 1)
+            .x(1)
+            .cx(1, 2)
+            .h(2)
+            .cx(2, 3)
+            .cx(3, 4)
+            .x(3)
+            .cx(4, 5)
+            .h(5);
         c
     }
 
@@ -138,7 +147,11 @@ mod tests {
                 (report.left_exposure + report.right_exposure - 1.0).abs() < 1e-12,
                 "seed {seed}: exposures must sum to 1"
             );
-            assert!(report.no_full_exposure() || report.left_exposure == 1.0 || report.right_exposure == 1.0);
+            assert!(
+                report.no_full_exposure()
+                    || report.left_exposure == 1.0
+                    || report.right_exposure == 1.0
+            );
         }
     }
 
@@ -155,7 +168,10 @@ mod tests {
                 hidden += 1;
             }
         }
-        assert!(hidden >= 7, "full design leaked too often: {hidden}/10 hidden");
+        assert!(
+            hidden >= 7,
+            "full design leaked too often: {hidden}/10 hidden"
+        );
     }
 
     #[test]

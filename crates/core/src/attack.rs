@@ -3,7 +3,7 @@
 //! The collusion attack on split compilation tries to reconnect the two
 //! compiled segments by matching qubits across the boundary.
 //!
-//! * Prior work (Saki et al. [20]) splits into equal-width cascading
+//! * Prior work (Saki et al. \[20\]) splits into equal-width cascading
 //!   sections, so the attacker only has to consider candidate segments of
 //!   exactly `n` qubits and try every wire permutation:
 //!   `complexity = kₙ · n!`.
@@ -92,7 +92,7 @@ impl SegmentCensus {
     }
 }
 
-/// Saki et al. [20] collusion complexity: `kₙ · n!` — the attacker matches
+/// Saki et al. \[20\] collusion complexity: `kₙ · n!` — the attacker matches
 /// the `n` wires of one segment against a same-width candidate.
 ///
 /// # Errors
@@ -182,11 +182,7 @@ fn log10_sum(logs: &[f64]) -> f64 {
     if m == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
-    m + logs
-        .iter()
-        .map(|x| 10f64.powf(x - m))
-        .sum::<f64>()
-        .log10()
+    m + logs.iter().map(|x| 10f64.powf(x - m)).sum::<f64>().log10()
 }
 
 /// The paper's headline security ratio: TetrisLock complexity divided by
@@ -222,10 +218,7 @@ mod tests {
     fn log_factorial_tracks_exact() {
         for n in [1u32, 5, 10, 20, 30] {
             let exact = factorial(n).unwrap() as f64;
-            assert!(
-                (log10_factorial(n) - exact.log10()).abs() < 1e-9,
-                "n = {n}"
-            );
+            assert!((log10_factorial(n) - exact.log10()).abs() < 1e-9, "n = {n}");
         }
     }
 
@@ -233,9 +226,7 @@ mod tests {
     fn saki_matches_hand_computation() {
         // 5 qubits, 3 candidates: 3 · 120 = 360.
         assert_eq!(saki_complexity(5, 3).unwrap(), 360);
-        assert!(
-            (saki_complexity_log10(5, 3) - 360f64.log10()).abs() < 1e-9
-        );
+        assert!((saki_complexity_log10(5, 3) - 360f64.log10()).abs() < 1e-9);
     }
 
     #[test]
@@ -289,7 +280,10 @@ mod tests {
     fn log_api_handles_large_n() {
         let census = SegmentCensus::uniform(60, 8);
         let v = tetrislock_complexity_log10(50, &census);
-        assert!(v > 60.0, "50-qubit complexity should exceed 10^60, got 10^{v}");
+        assert!(
+            v > 60.0,
+            "50-qubit complexity should exceed 10^60, got 10^{v}"
+        );
         assert!(v.is_finite());
     }
 

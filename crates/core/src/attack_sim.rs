@@ -177,12 +177,8 @@ mod tests {
         let c = victim();
         let obf = Obfuscator::new().with_seed(1).obfuscate(&c);
         let split = obf.split(2);
-        let outcome = brute_force_reassembly(
-            &split.left.circuit,
-            &split.right.circuit,
-            4,
-            |_| false,
-        );
+        let outcome =
+            brute_force_reassembly(&split.left.circuit, &split.right.circuit, 4, |_| false);
         assert_eq!(
             outcome.attempts as u128,
             placement_count(4, split.right.circuit.num_qubits())
@@ -213,12 +209,10 @@ mod tests {
         }
         let victim_in_frame = c.remapped(c.num_qubits(), &frame).expect("total frame");
 
-        let outcome = brute_force_reassembly(
-            &split.left.circuit,
-            &split.right.circuit,
-            4,
-            |candidate| equivalent_up_to_phase(candidate, &victim_in_frame, 1e-9).unwrap_or(false),
-        );
+        let outcome =
+            brute_force_reassembly(&split.left.circuit, &split.right.circuit, 4, |candidate| {
+                equivalent_up_to_phase(candidate, &victim_in_frame, 1e-9).unwrap_or(false)
+            });
         // Exhaustive search with a perfect oracle must recover at least
         // one functional reassembly (the designer's own).
         assert!(

@@ -1,12 +1,12 @@
 //! Prior-work baselines (§II-C / §IV-C).
 //!
 //! * [`das_random_insertion`] — randomized reversible-circuit insertion in
-//!   the style of Das & Ghosh [16]: a random block `R` is *prepended* to
+//!   the style of Das & Ghosh \[16\]: a random block `R` is *prepended* to
 //!   the circuit and its inverse applied afterwards to restore function.
 //!   Weaknesses reproduced here: the depth grows by `depth(R)`, and the
 //!   `R|C` boundary is a straight vertical line an attacker can look for.
 //! * [`saki_cascade_split`] — cascading split compilation in the style of
-//!   Saki et al. [20]: the circuit is cut at a single global column into
+//!   Saki et al. \[20\]: the circuit is cut at a single global column into
 //!   two sections over the *same* full register, which is what enables
 //!   the `kₙ·n!` qubit-matching collusion attack.
 
@@ -48,7 +48,7 @@ impl DasInsertion {
 }
 
 /// Builds a random reversible block of `num_gates` X/CX gates and
-/// prepends it to `circuit` ([16]-style obfuscation).
+/// prepends it to `circuit` (\[16\]-style obfuscation).
 ///
 /// # Panics
 ///
@@ -79,7 +79,7 @@ pub fn das_random_insertion(circuit: &Circuit, num_gates: usize, seed: u64) -> D
     }
 }
 
-/// A cascading (straight-cut) split in the style of Saki et al. [20]:
+/// A cascading (straight-cut) split in the style of Saki et al. \[20\]:
 /// layers `< cut_layer` form the left section, the rest the right
 /// section. Both sections keep the full register — equal qubit counts on
 /// both sides of the boundary.
@@ -91,7 +91,11 @@ pub fn saki_cascade_split(circuit: &Circuit, cut_layer: usize) -> (Circuit, Circ
     let mut left = Circuit::with_name(n, format!("{}_cascade_left", circuit.name()));
     let mut right = Circuit::with_name(n, format!("{}_cascade_right", circuit.name()));
     for (idx, layer) in layers.into_iter().enumerate() {
-        let target = if idx < cut_layer { &mut left } else { &mut right };
+        let target = if idx < cut_layer {
+            &mut left
+        } else {
+            &mut right
+        };
         for inst in layer {
             target.push(inst).expect("same register");
         }
@@ -173,7 +177,10 @@ mod tests {
     fn das_adds_depth_tetrislock_does_not() {
         let c = sample();
         let das = das_random_insertion(&c, 4, 2);
-        assert!(das.depth_overhead(&c) > 0, "R must add depth when prepended");
+        assert!(
+            das.depth_overhead(&c) > 0,
+            "R must add depth when prepended"
+        );
         let tetris = crate::Obfuscator::new().with_seed(2).obfuscate(&c);
         assert_eq!(tetris.depth_increase(), 0);
     }

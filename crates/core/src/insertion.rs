@@ -297,9 +297,15 @@ pub fn insert_random_pairs(circuit: &Circuit, config: &InsertionConfig) -> Inser
         // from everything else in the layer, so order is cosmetic).
         for &(pi, forward) in &by_layer[layer_idx] {
             let (gate, qubits, _, _) = &planned[pi];
-            let inst =
-                Instruction::new(if forward { gate.clone() } else { gate.adjoint() }, qubits.clone())
-                    .expect("planned instruction valid");
+            let inst = Instruction::new(
+                if forward {
+                    gate.clone()
+                } else {
+                    gate.adjoint()
+                },
+                qubits.clone(),
+            )
+            .expect("planned instruction valid");
             let index = out.gate_count();
             out.push(inst).expect("same register");
             if forward {
@@ -333,7 +339,10 @@ pub fn insert_random_pairs(circuit: &Circuit, config: &InsertionConfig) -> Inser
     pairs.sort_by_key(|p| p.forward_layer);
 
     debug_assert_eq!(out.depth(), circuit.depth().max(out.depth().min(depth)));
-    Insertion { circuit: out, pairs }
+    Insertion {
+        circuit: out,
+        pairs,
+    }
 }
 
 #[cfg(test)]
@@ -352,7 +361,10 @@ mod tests {
     fn depth_is_never_increased() {
         for seed in 0..20 {
             let c = roomy_circuit();
-            let config = InsertionConfig { seed, ..Default::default() };
+            let config = InsertionConfig {
+                seed,
+                ..Default::default()
+            };
             let result = insert_random_pairs(&c, &config);
             assert_eq!(result.circuit.depth(), c.depth(), "seed {seed}");
         }
@@ -362,7 +374,10 @@ mod tests {
     fn function_is_exactly_preserved() {
         for seed in 0..10 {
             let c = roomy_circuit();
-            let config = InsertionConfig { seed, ..Default::default() };
+            let config = InsertionConfig {
+                seed,
+                ..Default::default()
+            };
             let result = insert_random_pairs(&c, &config);
             assert!(
                 equivalent_up_to_phase(&c, &result.circuit, 1e-9).unwrap(),
@@ -392,9 +407,7 @@ mod tests {
         let c = roomy_circuit();
         let result = insert_random_pairs(&c, &InsertionConfig::default());
         assert!(result.inserted_count() >= 1);
-        assert!(
-            result.circuit.gate_count() == c.gate_count() + result.gate_overhead()
-        );
+        assert!(result.circuit.gate_count() == c.gate_count() + result.gate_overhead());
     }
 
     #[test]
@@ -409,7 +422,13 @@ mod tests {
     #[test]
     fn masked_circuit_drops_only_inverse_halves() {
         let c = roomy_circuit();
-        let result = insert_random_pairs(&c, &InsertionConfig { seed: 3, ..Default::default() });
+        let result = insert_random_pairs(
+            &c,
+            &InsertionConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let masked = result.masked_circuit();
         assert_eq!(
             masked.gate_count(),
@@ -424,8 +443,13 @@ mod tests {
         let mut found_difference = false;
         for seed in 0..20 {
             let c = roomy_circuit();
-            let result =
-                insert_random_pairs(&c, &InsertionConfig { seed, ..Default::default() });
+            let result = insert_random_pairs(
+                &c,
+                &InsertionConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             if result.inserted_count() == 0 {
                 continue;
             }
@@ -441,7 +465,13 @@ mod tests {
     #[test]
     fn pairs_record_valid_indices() {
         let c = roomy_circuit();
-        let result = insert_random_pairs(&c, &InsertionConfig { seed: 5, ..Default::default() });
+        let result = insert_random_pairs(
+            &c,
+            &InsertionConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         for p in &result.pairs {
             assert!(p.inverse_layer < p.forward_layer);
             let inv = &result.circuit.instructions()[p.inverse_index];
@@ -456,7 +486,13 @@ mod tests {
     #[test]
     fn r_and_r_inverse_compose_to_identity() {
         let c = roomy_circuit();
-        let result = insert_random_pairs(&c, &InsertionConfig { seed: 11, ..Default::default() });
+        let result = insert_random_pairs(
+            &c,
+            &InsertionConfig {
+                seed: 11,
+                ..Default::default()
+            },
+        );
         if result.inserted_count() == 0 {
             return;
         }
@@ -472,8 +508,20 @@ mod tests {
     #[test]
     fn seeds_give_different_insertions() {
         let c = roomy_circuit();
-        let a = insert_random_pairs(&c, &InsertionConfig { seed: 1, ..Default::default() });
-        let b = insert_random_pairs(&c, &InsertionConfig { seed: 2, ..Default::default() });
+        let a = insert_random_pairs(
+            &c,
+            &InsertionConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = insert_random_pairs(
+            &c,
+            &InsertionConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert!(
             a.circuit.instructions() != b.circuit.instructions()
                 || a.pairs != b.pairs
@@ -484,7 +532,10 @@ mod tests {
     #[test]
     fn same_seed_reproduces() {
         let c = roomy_circuit();
-        let cfg = InsertionConfig { seed: 9, ..Default::default() };
+        let cfg = InsertionConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let a = insert_random_pairs(&c, &cfg);
         let b = insert_random_pairs(&c, &cfg);
         assert_eq!(a.circuit.instructions(), b.circuit.instructions());

@@ -190,10 +190,7 @@ impl InterlockPattern {
 fn compact_or_trivial(circuit: &Circuit) -> (Circuit, BTreeMap<Qubit, Qubit>) {
     match circuit.compacted() {
         Ok(pair) => pair,
-        Err(_) => (
-            Circuit::with_name(1, circuit.name()),
-            BTreeMap::new(),
-        ),
+        Err(_) => (Circuit::with_name(1, circuit.name()), BTreeMap::new()),
     }
 }
 
@@ -209,13 +206,25 @@ mod tests {
         // the regression case for the planned-vs-ASAP layer bug (ASAP
         // re-layering used to pull forward halves left of the cut).
         let mut c = Circuit::with_name(6, "fig2");
-        c.h(0).cx(0, 1).x(1).cx(1, 2).h(2).cx(2, 3).cx(3, 4).x(3).cx(4, 5).h(5);
+        c.h(0)
+            .cx(0, 1)
+            .x(1)
+            .cx(1, 2)
+            .h(2)
+            .cx(2, 3)
+            .cx(3, 4)
+            .x(3)
+            .cx(4, 5)
+            .h(5);
         c
     }
 
     fn obfuscate(seed: u64) -> Obfuscation {
         Obfuscator::new()
-            .with_config(InsertionConfig { seed, ..Default::default() })
+            .with_config(InsertionConfig {
+                seed,
+                ..Default::default()
+            })
             .obfuscate(&sample())
     }
 
@@ -266,7 +275,10 @@ mod tests {
             assert_eq!(split.assignment.len(), obf.obfuscated().gate_count());
             for pair in &obf.insertion().pairs {
                 assert!(split.assignment[pair.inverse_index], "inverse must go left");
-                assert!(!split.assignment[pair.forward_index], "forward must go right");
+                assert!(
+                    !split.assignment[pair.forward_index],
+                    "forward must go right"
+                );
             }
         }
     }
@@ -298,7 +310,10 @@ mod tests {
         }
         // Figure 3's core property: splits need not (and mostly do not)
         // have equal register sizes.
-        assert!(mismatched > total / 4, "only {mismatched}/{total} mismatched");
+        assert!(
+            mismatched > total / 4,
+            "only {mismatched}/{total} mismatched"
+        );
     }
 
     #[test]

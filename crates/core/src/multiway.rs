@@ -225,7 +225,16 @@ mod tests {
 
     fn sample() -> Circuit {
         let mut c = Circuit::with_name(6, "multi");
-        c.h(0).cx(0, 1).x(1).cx(1, 2).h(2).cx(2, 3).cx(3, 4).x(3).cx(4, 5).h(5);
+        c.h(0)
+            .cx(0, 1)
+            .x(1)
+            .cx(1, 2)
+            .h(2)
+            .cx(2, 3)
+            .cx(3, 4)
+            .x(3)
+            .cx(4, 5)
+            .h(5);
         c
     }
 
@@ -298,14 +307,10 @@ mod tests {
     #[test]
     fn pattern_validation() {
         // Wrong cut count.
-        let result = std::panic::catch_unwind(|| {
-            MultiwayPattern::new(3, vec![vec![1]; 2])
-        });
+        let result = std::panic::catch_unwind(|| MultiwayPattern::new(3, vec![vec![1]; 2]));
         assert!(result.is_err());
         // Decreasing staircase.
-        let result = std::panic::catch_unwind(|| {
-            MultiwayPattern::new(3, vec![vec![3, 1]; 2])
-        });
+        let result = std::panic::catch_unwind(|| MultiwayPattern::new(3, vec![vec![3, 1]; 2]));
         assert!(result.is_err());
         // Valid.
         let p = MultiwayPattern::new(3, vec![vec![1, 2]; 2]);

@@ -227,9 +227,6 @@ mod tests {
             obf.obfuscated().gate_count(),
             c.gate_count() + 2 * obf.inserted_count()
         );
-        assert_eq!(
-            obf.r_circuit().gate_count(),
-            obf.inserted_count()
-        );
+        assert_eq!(obf.r_circuit().gate_count(), obf.inserted_count());
     }
 }

@@ -125,8 +125,7 @@ mod tests {
         a.h(0);
         let mut b = Circuit::new(2);
         b.cx(0, 1);
-        let map: BTreeMap<Qubit, Qubit> =
-            (0..2).map(|i| (Qubit::new(i), Qubit::new(i))).collect();
+        let map: BTreeMap<Qubit, Qubit> = (0..2).map(|i| (Qubit::new(i), Qubit::new(i))).collect();
         let joined = recombine_compiled(2, &a, &map, &b, &map).unwrap();
         assert_eq!(joined.gate_count(), 2);
     }

@@ -193,7 +193,14 @@ mod tests {
         let t = SlotTable::new(&c);
         assert_eq!(t.depth(), 4);
         let w1 = t.windows_for(Qubit::new(1));
-        assert_eq!(w1, &[IdleWindow { qubit: Qubit::new(1), start: 0, end: 1 }]);
+        assert_eq!(
+            w1,
+            &[IdleWindow {
+                qubit: Qubit::new(1),
+                start: 0,
+                end: 1
+            }]
+        );
         let w2 = t.windows_for(Qubit::new(2));
         assert_eq!((w2[0].start, w2[0].end), (0, 2));
         assert!(w2[0].is_leading());
@@ -260,13 +267,25 @@ mod tests {
 
     #[test]
     fn window_helpers() {
-        let w = IdleWindow { qubit: Qubit::new(0), start: 2, end: 5 };
+        let w = IdleWindow {
+            qubit: Qubit::new(0),
+            start: 2,
+            end: 5,
+        };
         assert_eq!(w.len(), 3);
         assert!(!w.is_empty());
         assert!(!w.is_leading());
-        let v = IdleWindow { qubit: Qubit::new(1), start: 4, end: 8 };
+        let v = IdleWindow {
+            qubit: Qubit::new(1),
+            start: 4,
+            end: 8,
+        };
         assert_eq!(w.overlap(&v), Some((4, 5)));
-        let far = IdleWindow { qubit: Qubit::new(1), start: 6, end: 8 };
+        let far = IdleWindow {
+            qubit: Qubit::new(1),
+            start: 6,
+            end: 8,
+        };
         assert_eq!(w.overlap(&far), None);
     }
 }

@@ -437,7 +437,12 @@ impl Circuit {
                 format!("{}_dg", self.name)
             },
         );
-        inv.instructions = self.instructions.iter().rev().map(Instruction::adjoint).collect();
+        inv.instructions = self
+            .instructions
+            .iter()
+            .rev()
+            .map(Instruction::adjoint)
+            .collect();
         inv
     }
 
@@ -564,7 +569,11 @@ impl fmt::Display for Circuit {
         writeln!(
             f,
             "circuit {} ({} qubits, {} gates, depth {})",
-            if self.name.is_empty() { "<anon>" } else { &self.name },
+            if self.name.is_empty() {
+                "<anon>"
+            } else {
+                &self.name
+            },
             self.num_qubits,
             self.gate_count(),
             self.depth()

@@ -306,7 +306,10 @@ mod tests {
         let dag = CircuitDag::new(&c);
         assert_eq!(dag.num_layers(), 0);
         assert!(dag.empty_positions().is_empty());
-        assert_eq!(dag.idle_through(0), vec![Qubit::new(0), Qubit::new(1), Qubit::new(2)]);
+        assert_eq!(
+            dag.idle_through(0),
+            vec![Qubit::new(0), Qubit::new(1), Qubit::new(2)]
+        );
     }
 
     #[test]

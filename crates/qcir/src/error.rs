@@ -52,10 +52,7 @@ impl fmt::Display for CircuitError {
                 gate,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "gate {gate} expects {expected} operand(s), got {actual}"
-            ),
+            } => write!(f, "gate {gate} expects {expected} operand(s), got {actual}"),
             CircuitError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

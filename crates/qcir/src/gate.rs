@@ -321,7 +321,15 @@ mod tests {
 
     #[test]
     fn self_inverse_gates_have_identity_adjoint() {
-        for g in [Gate::X, Gate::Y, Gate::Z, Gate::H, Gate::CX, Gate::CCX, Gate::Swap] {
+        for g in [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::CX,
+            Gate::CCX,
+            Gate::Swap,
+        ] {
             assert!(g.is_self_inverse());
             assert_eq!(g.adjoint(), g);
         }
@@ -331,10 +339,7 @@ mod tests {
 
     #[test]
     fn u_adjoint_swaps_phi_lambda() {
-        assert_eq!(
-            Gate::U(0.1, 0.2, 0.3).adjoint(),
-            Gate::U(-0.1, -0.3, -0.2)
-        );
+        assert_eq!(Gate::U(0.1, 0.2, 0.3).adjoint(), Gate::U(-0.1, -0.3, -0.2));
     }
 
     #[test]

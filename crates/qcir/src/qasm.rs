@@ -109,11 +109,7 @@ fn eval_simple(expr: &str) -> Option<f64> {
     expr.parse::<f64>().ok()
 }
 
-fn gate_from_name(
-    name: &str,
-    params: &[f64],
-    line: usize,
-) -> Result<Gate, CircuitError> {
+fn gate_from_name(name: &str, params: &[f64], line: usize) -> Result<Gate, CircuitError> {
     let need = |n: usize| -> Result<(), CircuitError> {
         if params.len() != n {
             Err(CircuitError::Parse {
@@ -259,13 +255,12 @@ pub fn from_qasm(source: &str) -> Result<Circuit, CircuitError> {
                     line,
                     message: "qreg missing `]`".into(),
                 })?;
-                let size: u32 =
-                    rest[open + 1..close]
-                        .parse()
-                        .map_err(|_| CircuitError::Parse {
-                            line,
-                            message: "qreg size is not an integer".into(),
-                        })?;
+                let size: u32 = rest[open + 1..close]
+                    .parse()
+                    .map_err(|_| CircuitError::Parse {
+                        line,
+                        message: "qreg size is not an integer".into(),
+                    })?;
                 if size == 0 {
                     return Err(CircuitError::Parse {
                         line,
@@ -365,7 +360,14 @@ mod tests {
     #[test]
     fn roundtrip_plain_gates() {
         let mut c = Circuit::with_name(4, "rt");
-        c.h(0).x(1).s(2).tdg(3).cx(0, 1).cz(2, 3).swap(0, 3).ccx(1, 2, 0);
+        c.h(0)
+            .x(1)
+            .s(2)
+            .tdg(3)
+            .cx(0, 1)
+            .cz(2, 3)
+            .swap(0, 3)
+            .ccx(1, 2, 0);
         let back = roundtrip(&c);
         assert_eq!(back.instructions(), c.instructions());
         assert_eq!(back.name(), "rt");
@@ -393,7 +395,9 @@ mod tests {
     #[test]
     fn roundtrip_mcx() {
         let mut c = Circuit::new(6);
-        c.mcx(&[0, 1, 2], 3).mcx(&[0, 1, 2, 3], 4).mcx(&[0, 1, 2, 3, 4], 5);
+        c.mcx(&[0, 1, 2], 3)
+            .mcx(&[0, 1, 2, 3], 4)
+            .mcx(&[0, 1, 2, 3, 4], 5);
         let back = roundtrip(&c);
         assert_eq!(back.instruction(0).unwrap().gate(), &Gate::Mcx(3));
         assert_eq!(back.instruction(1).unwrap().gate(), &Gate::Mcx(4));

@@ -105,8 +105,14 @@ pub fn random_unitary_circuit(config: &RandomCircuitConfig) -> Circuit {
                 1 => c.s(q),
                 2 => c.t(q),
                 3 => c.x(q),
-                4 => c.rz(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q),
-                _ => c.rx(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q),
+                4 => c.rz(
+                    rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                    q,
+                ),
+                _ => c.rx(
+                    rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                    q,
+                ),
             };
         }
     }

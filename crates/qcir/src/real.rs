@@ -64,13 +64,12 @@ pub fn from_real(source: &str) -> Result<Circuit, CircuitError> {
                 "version" | "mode" | "inputs" | "outputs" | "constants" | "garbage"
                 | "inputbus" | "outputbus" | "state" | "module" => {}
                 "numvars" => {
-                    let n: u32 = parts
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| CircuitError::Parse {
+                    let n: u32 = parts.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                        CircuitError::Parse {
                             line,
                             message: ".numvars expects a positive integer".into(),
-                        })?;
+                        }
+                    })?;
                     if n == 0 {
                         return Err(CircuitError::Parse {
                             line,
@@ -137,10 +136,13 @@ pub fn from_real(source: &str) -> Result<Circuit, CircuitError> {
         let kind = parts.next().expect("non-empty line");
         let operands: Vec<u32> = parts
             .map(|v| {
-                var_index.get(v).copied().ok_or_else(|| CircuitError::Parse {
-                    line,
-                    message: format!("undeclared variable `{v}`"),
-                })
+                var_index
+                    .get(v)
+                    .copied()
+                    .ok_or_else(|| CircuitError::Parse {
+                        line,
+                        message: format!("undeclared variable `{v}`"),
+                    })
             })
             .collect::<Result<_, _>>()?;
 
@@ -337,7 +339,12 @@ mod tests {
     #[test]
     fn writer_roundtrip() {
         let mut c = Circuit::with_name(4, "rt");
-        c.x(0).cx(0, 1).ccx(1, 2, 3).mcx(&[0, 1, 2], 3).swap(0, 3).cswap(0, 1, 2);
+        c.x(0)
+            .cx(0, 1)
+            .ccx(1, 2, 3)
+            .mcx(&[0, 1, 2], 3)
+            .swap(0, 3)
+            .cswap(0, 1, 2);
         let text = to_real(&c).unwrap();
         let back = from_real(&text).unwrap();
         assert_eq!(back.instructions(), c.instructions());

@@ -115,7 +115,13 @@ mod tests {
     #[test]
     fn counts_by_arity() {
         let mut c = Circuit::new(4);
-        c.h(0).t(1).tdg(2).cx(0, 1).swap(2, 3).ccx(0, 1, 2).mcx(&[0, 1, 2], 3);
+        c.h(0)
+            .t(1)
+            .tdg(2)
+            .cx(0, 1)
+            .swap(2, 3)
+            .ccx(0, 1, 2)
+            .mcx(&[0, 1, 2], 3);
         let s = CircuitStats::of(&c);
         assert_eq!(s.single_qubit_gates, 3);
         assert_eq!(s.two_qubit_gates, 2);

@@ -136,7 +136,13 @@ mod tests {
 
     #[test]
     fn disconnected_graph_rejected() {
-        let dev = Device::new("split", 4, vec![(0, 1), (2, 3)], vec!["cx"], NoiseModel::ideal());
+        let dev = Device::new(
+            "split",
+            4,
+            vec![(0, 1), (2, 3)],
+            vec!["cx"],
+            NoiseModel::ideal(),
+        );
         assert!(matches!(
             DistanceMap::new(&dev),
             Err(CompileError::Unroutable { .. })

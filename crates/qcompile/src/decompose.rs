@@ -278,7 +278,11 @@ mod tests {
     #[test]
     fn mixed_circuit_roundtrip() {
         let mut c = Circuit::with_name(4, "mixed");
-        c.h(0).ccx(0, 1, 2).swap(2, 3).cp(0.4, 0, 3).mcx(&[0, 1, 2], 3);
+        c.h(0)
+            .ccx(0, 1, 2)
+            .swap(2, 3)
+            .cp(0.4, 0, 3)
+            .mcx(&[0, 1, 2], 3);
         check_equiv(&c);
     }
 
@@ -305,10 +309,7 @@ mod tests {
             let (t, p, l) = to_u_params(&g).unwrap();
             let u = gate_matrix(&Gate::U(t, p, l));
             let m = gate_matrix(&g);
-            assert!(
-                u.approx_eq_up_to_phase(&m, 1e-12),
-                "u-params wrong for {g}"
-            );
+            assert!(u.approx_eq_up_to_phase(&m, 1e-12), "u-params wrong for {g}");
         }
         assert!(to_u_params(&Gate::CX).is_none());
     }

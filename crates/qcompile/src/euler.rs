@@ -152,12 +152,12 @@ mod tests {
     fn zsx_translation_is_exact_up_to_phase() {
         let cases = [
             (0.0, 0.0, 0.0),
-            (PI, 0.0, PI),          // X
-            (PI / 2.0, 0.0, PI),    // H
+            (PI, 0.0, PI),       // X
+            (PI / 2.0, 0.0, PI), // H
             (0.3, 0.8, -0.5),
             (2.5, -1.0, 0.9),
             (PI / 2.0, -PI / 2.0, PI / 2.0), // SX itself
-            (0.0, 0.0, 0.7),        // pure phase
+            (0.0, 0.0, 0.7),                 // pure phase
         ];
         for (t, p, l) in cases {
             let target = gate_matrix(&Gate::U(t, p, l));

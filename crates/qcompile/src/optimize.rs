@@ -268,8 +268,7 @@ pub fn cancel_commuting_pairs(circuit: &mut Circuit) -> usize {
                 }
                 // A non-commuting gate sharing wires blocks further search
                 // for this `i`.
-                if !instructions_commute(a, b)
-                    && a.qubits().iter().any(|q| b.qubits().contains(q))
+                if !instructions_commute(a, b) && a.qubits().iter().any(|q| b.qubits().contains(q))
                 {
                     break;
                 }
@@ -435,21 +434,51 @@ mod tests {
             Instruction::new(g, qs.iter().map(|&q| Qubit::new(q)).collect()).unwrap()
         };
         // Disjoint wires.
-        assert!(instructions_commute(&inst(Gate::H, &[0]), &inst(Gate::X, &[1])));
+        assert!(instructions_commute(
+            &inst(Gate::H, &[0]),
+            &inst(Gate::X, &[1])
+        ));
         // Diagonal pair on the same wire.
-        assert!(instructions_commute(&inst(Gate::Rz(0.3), &[0]), &inst(Gate::T, &[0])));
+        assert!(instructions_commute(
+            &inst(Gate::Rz(0.3), &[0]),
+            &inst(Gate::T, &[0])
+        ));
         // CX control passes diagonal, blocks X.
-        assert!(instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::S, &[0])));
-        assert!(!instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::X, &[0])));
+        assert!(instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::S, &[0])
+        ));
+        assert!(!instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::X, &[0])
+        ));
         // CX target passes X, blocks Z.
-        assert!(instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::X, &[1])));
-        assert!(!instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::Z, &[1])));
+        assert!(instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::X, &[1])
+        ));
+        assert!(!instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::Z, &[1])
+        ));
         // CX/CX: shared control commutes, control-meets-target does not.
-        assert!(instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::CX, &[0, 2])));
-        assert!(instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::CX, &[2, 1])));
-        assert!(!instructions_commute(&inst(Gate::CX, &[0, 1]), &inst(Gate::CX, &[1, 2])));
+        assert!(instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::CX, &[0, 2])
+        ));
+        assert!(instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::CX, &[2, 1])
+        ));
+        assert!(!instructions_commute(
+            &inst(Gate::CX, &[0, 1]),
+            &inst(Gate::CX, &[1, 2])
+        ));
         // H on a shared wire: unknown → conservative false.
-        assert!(!instructions_commute(&inst(Gate::H, &[0]), &inst(Gate::X, &[0])));
+        assert!(!instructions_commute(
+            &inst(Gate::H, &[0]),
+            &inst(Gate::X, &[0])
+        ));
     }
 
     #[test]
@@ -497,7 +526,13 @@ mod tests {
     #[test]
     fn optimize_reaches_fixpoint() {
         let mut c = Circuit::new(2);
-        c.h(0).h(0).rz(0.5, 1).rz(-0.25, 1).rz(-0.25, 1).cx(0, 1).cx(0, 1);
+        c.h(0)
+            .h(0)
+            .rz(0.5, 1)
+            .rz(-0.25, 1)
+            .rz(-0.25, 1)
+            .cx(0, 1)
+            .cx(0, 1);
         optimize(&mut c);
         assert!(c.is_empty());
     }

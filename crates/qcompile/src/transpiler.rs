@@ -220,8 +220,8 @@ pub fn translate_to_basis(circuit: &Circuit) -> Result<Circuit, CompileError> {
                 out.cx(a, b).cx(b, a).cx(a, b);
             }
             g if g.arity() == 1 => {
-                let (t, p, l) = to_u_params(g)
-                    .ok_or_else(|| CompileError::UnsupportedGate(g.to_string()))?;
+                let (t, p, l) =
+                    to_u_params(g).ok_or_else(|| CompileError::UnsupportedGate(g.to_string()))?;
                 let wire = inst.qubits()[0];
                 for native in u_to_zsx(t, p, l) {
                     out.push(
@@ -323,8 +323,7 @@ mod tests {
     fn transpiles_mcx_with_far_qubits() {
         let mut c = Circuit::new(5);
         c.x(0).x(1).x(2).x(3).mcx(&[0, 1, 2, 3], 4);
-        let t = Transpiler::new(Device::fake_valencia())
-            .with_optimization(OptimizationLevel::Full);
+        let t = Transpiler::new(Device::fake_valencia()).with_optimization(OptimizationLevel::Full);
         let out = t.transpile(&c).unwrap();
         assert!(conforms_to_device(&out.circuit, t.device()));
         check_semantics_on_zero(&c, &out);

@@ -45,8 +45,11 @@ pub fn tvd(a: &Counts, b: &Counts) -> f64 {
     if ta == 0 || tb == 0 {
         return if ta == tb { 0.0 } else { 1.0 };
     }
-    let keys: std::collections::BTreeSet<usize> =
-        a.iter().map(|(k, _)| k).chain(b.iter().map(|(k, _)| k)).collect();
+    let keys: std::collections::BTreeSet<usize> = a
+        .iter()
+        .map(|(k, _)| k)
+        .chain(b.iter().map(|(k, _)| k))
+        .collect();
     let mut acc = 0.0;
     for k in keys {
         let pa = a.count(k) as f64 / ta as f64;
@@ -91,8 +94,11 @@ pub fn hellinger(a: &Counts, b: &Counts) -> f64 {
     if ta == 0 || tb == 0 {
         return if ta == tb { 0.0 } else { 1.0 };
     }
-    let keys: std::collections::BTreeSet<usize> =
-        a.iter().map(|(k, _)| k).chain(b.iter().map(|(k, _)| k)).collect();
+    let keys: std::collections::BTreeSet<usize> = a
+        .iter()
+        .map(|(k, _)| k)
+        .chain(b.iter().map(|(k, _)| k))
+        .collect();
     let mut bc = 0.0;
     for k in keys {
         let pa = a.count(k) as f64 / ta as f64;

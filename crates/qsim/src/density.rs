@@ -367,7 +367,10 @@ mod tests {
         rho.apply_circuit_noisy(&c, &noise).unwrap();
         let exact = rho.readout_probabilities(&noise);
 
-        let counts = Sampler::new(60_000).with_seed(42).run_noisy(&c, &noise).unwrap();
+        let counts = Sampler::new(60_000)
+            .with_seed(42)
+            .run_noisy(&c, &noise)
+            .unwrap();
         for (i, &p) in exact.iter().enumerate() {
             let empirical = counts.probability(i);
             assert!(

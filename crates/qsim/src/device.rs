@@ -94,11 +94,26 @@ impl Device {
                 .one_qubit_error(4.5e-4)
                 .two_qubit_error(2.5e-3)
                 .readout_errors(vec![
-                    ReadoutError { p1_given_0: 0.005, p0_given_1: 0.007 },
-                    ReadoutError { p1_given_0: 0.006, p0_given_1: 0.008 },
-                    ReadoutError { p1_given_0: 0.004, p0_given_1: 0.006 },
-                    ReadoutError { p1_given_0: 0.006, p0_given_1: 0.009 },
-                    ReadoutError { p1_given_0: 0.005, p0_given_1: 0.007 },
+                    ReadoutError {
+                        p1_given_0: 0.005,
+                        p0_given_1: 0.007,
+                    },
+                    ReadoutError {
+                        p1_given_0: 0.006,
+                        p0_given_1: 0.008,
+                    },
+                    ReadoutError {
+                        p1_given_0: 0.004,
+                        p0_given_1: 0.006,
+                    },
+                    ReadoutError {
+                        p1_given_0: 0.006,
+                        p0_given_1: 0.009,
+                    },
+                    ReadoutError {
+                        p1_given_0: 0.005,
+                        p0_given_1: 0.007,
+                    },
                 ])
                 .build(),
         )

@@ -27,7 +27,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::TooManyQubits { requested, max } => {
-                write!(f, "register of {requested} qubits exceeds simulator limit of {max}")
+                write!(
+                    f,
+                    "register of {requested} qubits exceeds simulator limit of {max}"
+                )
             }
             SimError::QubitMismatch { circuit, state } => write!(
                 f,
@@ -46,7 +49,10 @@ mod tests {
 
     #[test]
     fn messages_carry_numbers() {
-        let e = SimError::TooManyQubits { requested: 40, max: 26 };
+        let e = SimError::TooManyQubits {
+            requested: 40,
+            max: 26,
+        };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("26"));
     }

@@ -223,19 +223,13 @@ pub fn gate_matrix(gate: &Gate) -> Matrix {
         Gate::Ry(a) => {
             let c = C64::real((a / 2.0).cos());
             let s = (a / 2.0).sin();
-            Matrix::from_rows(&[
-                &[c, C64::real(-s)],
-                &[C64::real(s), c],
-            ])
+            Matrix::from_rows(&[&[c, C64::real(-s)], &[C64::real(s), c]])
         }
         Gate::Rz(a) => Matrix::from_rows(&[
             &[C64::cis(-a / 2.0), C64::ZERO],
             &[C64::ZERO, C64::cis(a / 2.0)],
         ]),
-        Gate::P(a) => Matrix::from_rows(&[
-            &[C64::ONE, C64::ZERO],
-            &[C64::ZERO, C64::cis(*a)],
-        ]),
+        Gate::P(a) => Matrix::from_rows(&[&[C64::ONE, C64::ZERO], &[C64::ZERO, C64::cis(*a)]]),
         Gate::U(theta, phi, lambda) => {
             let c = (theta / 2.0).cos();
             let s = (theta / 2.0).sin();
@@ -361,10 +355,7 @@ mod tests {
         for g in all_gates() {
             let m = gate_matrix(&g);
             let adj = gate_matrix(&g.adjoint());
-            assert!(
-                adj.approx_eq(&m.dagger(), EPS),
-                "adjoint mismatch for {g}"
-            );
+            assert!(adj.approx_eq(&m.dagger(), EPS), "adjoint mismatch for {g}");
         }
     }
 

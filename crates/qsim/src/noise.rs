@@ -173,7 +173,11 @@ impl NoiseModel {
         for q in 0..num_qubits as usize {
             let err = self.readout_for(q);
             let bit = (outcome >> q) & 1;
-            let flip_p = if bit == 1 { err.p0_given_1 } else { err.p1_given_0 };
+            let flip_p = if bit == 1 {
+                err.p0_given_1
+            } else {
+                err.p1_given_0
+            };
             if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
                 observed ^= 1 << q;
             }
@@ -231,8 +235,14 @@ impl NoiseModelBuilder {
             assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
         }
         for r in &self.readout {
-            assert!((0.0..=1.0).contains(&r.p0_given_1), "readout prob outside [0,1]");
-            assert!((0.0..=1.0).contains(&r.p1_given_0), "readout prob outside [0,1]");
+            assert!(
+                (0.0..=1.0).contains(&r.p0_given_1),
+                "readout prob outside [0,1]"
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.p1_given_0),
+                "readout prob outside [0,1]"
+            );
         }
         NoiseModel {
             one_qubit_depolarizing: self.one_qubit,
@@ -283,7 +293,10 @@ mod tests {
     #[test]
     fn readout_fallback_uses_last_entry() {
         let m = NoiseModel::builder()
-            .readout_errors(vec![ReadoutError::symmetric(0.1), ReadoutError::symmetric(0.2)])
+            .readout_errors(vec![
+                ReadoutError::symmetric(0.1),
+                ReadoutError::symmetric(0.2),
+            ])
             .build();
         assert_eq!(m.readout_for(0).p1_given_0, 0.1);
         assert_eq!(m.readout_for(1).p1_given_0, 0.2);
@@ -295,7 +308,9 @@ mod tests {
         let m = NoiseModel::builder().one_qubit_error(0.25).build();
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
-        let hits = (0..n).filter(|_| m.sample_pauli(1, &mut rng).is_some()).count();
+        let hits = (0..n)
+            .filter(|_| m.sample_pauli(1, &mut rng).is_some())
+            .count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
     }

@@ -431,8 +431,14 @@ mod tests {
             .two_qubit_error(0.05)
             .readout_error(0.02)
             .build();
-        let a = Sampler::new(4000).with_seed(21).run_noisy(&classical, &noise).unwrap();
-        let b = Sampler::new(4000).with_seed(22).run_noisy(&quantum, &noise).unwrap();
+        let a = Sampler::new(4000)
+            .with_seed(21)
+            .run_noisy(&classical, &noise)
+            .unwrap();
+        let b = Sampler::new(4000)
+            .with_seed(22)
+            .run_noisy(&quantum, &noise)
+            .unwrap();
         // Compare the dominant outcome mass — both should be |111⟩-heavy
         // with similar leakage. (The CZ adds one more noisy gate, so
         // tolerance is loose.)
@@ -445,7 +451,10 @@ mod tests {
     fn identity_circuit_with_readout_noise_mostly_zero() {
         let c = Circuit::new(3);
         let noise = NoiseModel::builder().readout_error(0.02).build();
-        let counts = Sampler::new(1000).with_seed(17).run_noisy(&c, &noise).unwrap();
+        let counts = Sampler::new(1000)
+            .with_seed(17)
+            .run_noisy(&c, &noise)
+            .unwrap();
         assert!(counts.probability(0) > 0.9);
         assert!(counts.probability(0) < 1.0);
     }

@@ -442,7 +442,13 @@ mod tests {
     #[test]
     fn circuit_then_inverse_is_identity() {
         let mut c = Circuit::new(3);
-        c.h(0).t(1).cx(0, 1).rz(0.37, 2).ccx(0, 1, 2).s(2).swap(0, 2);
+        c.h(0)
+            .t(1)
+            .cx(0, 1)
+            .rz(0.37, 2)
+            .ccx(0, 1, 2)
+            .s(2)
+            .swap(0, 2);
         let mut sv = Statevector::from_circuit(&c).unwrap();
         sv.apply_circuit(&c.inverse()).unwrap();
         let zero = Statevector::zero(3).unwrap();

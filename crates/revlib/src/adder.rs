@@ -53,10 +53,7 @@ pub fn adder_2bit() -> Benchmark {
     // Bit 0: carry into q5, sum into q2.
     c.ccx(0, 2, 5).cx(0, 2);
     // Bit 1 with carry q5: sum q3, carry q6.
-    c.ccx(1, 3, 6)
-        .cx(1, 3)
-        .ccx(3, 5, 6)
-        .cx(5, 3);
+    c.ccx(1, 3, 6).cx(1, 3).ccx(3, 5, 6).cx(5, 3);
     Benchmark::new(
         "2-bit adder",
         "ripple adder: (q3 q2) = a + b mod 4, q6 = carry-out",

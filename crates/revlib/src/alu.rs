@@ -32,7 +32,7 @@ pub fn mini_alu() -> Benchmark {
     c.x(2); // s̄
     c.ccx(2, 4, 3).ccx(0, 1, 4).ccx(2, 4, 3).ccx(0, 1, 4); // q3 ^= s̄·a·b
     c.x(2); // restore s
-    // XOR path: q3 ^= s·(a ⊕ b).
+            // XOR path: q3 ^= s·(a ⊕ b).
     c.cx(0, 1) // q1 = a ⊕ b
         .ccx(2, 1, 3) // q3 ^= s·(a⊕b)
         .cx(0, 1); // restore b

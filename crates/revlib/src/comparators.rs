@@ -81,16 +81,11 @@ pub fn comparator_4gt5() -> Benchmark {
     c.cx(3, 4).ccx(1, 2, 4);
     // q4 ^= x1·x2·x3 via dirty ancilla q0.
     c.ccx(3, 0, 4).ccx(1, 2, 0).ccx(3, 0, 4).ccx(1, 2, 0);
-    Benchmark::new(
-        "4gt5",
-        "q4 ^= [x > 5] for 4-bit x on q0..q3",
-        c,
-        |s| {
-            let x = s & 0b1111;
-            let hit = usize::from(x > 5);
-            s ^ (hit << 4)
-        },
-    )
+    Benchmark::new("4gt5", "q4 ^= [x > 5] for 4-bit x on q0..q3", c, |s| {
+        let x = s & 0b1111;
+        let hit = usize::from(x > 5);
+        s ^ (hit << 4)
+    })
 }
 
 #[cfg(test)]

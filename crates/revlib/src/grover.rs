@@ -31,10 +31,7 @@ use qcir::Circuit;
 /// ```
 pub fn grover(num_qubits: u32, marked: usize, iterations: u32) -> Circuit {
     assert!(num_qubits > 0, "grover needs at least one qubit");
-    assert!(
-        marked < 1usize << num_qubits,
-        "marked state out of range"
-    );
+    assert!(marked < 1usize << num_qubits, "marked state out of range");
     let mut c = Circuit::with_name(num_qubits, format!("grover{num_qubits}"));
     // Uniform superposition.
     for q in 0..num_qubits {

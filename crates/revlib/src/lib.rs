@@ -93,7 +93,16 @@ mod tests {
         let names: Vec<&str> = table1_benchmarks().iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["mini ALU", "4mod5", "1-bit adder", "4gt11", "4gt13", "rd53", "rd73", "rd84"]
+            vec![
+                "mini ALU",
+                "4mod5",
+                "1-bit adder",
+                "4gt11",
+                "4gt13",
+                "rd53",
+                "rd73",
+                "rd84"
+            ]
         );
     }
 

@@ -44,15 +44,10 @@ pub fn parity9() -> Benchmark {
     for i in 0..8 {
         c.cx(i, 8);
     }
-    Benchmark::new(
-        "parity9",
-        "q8 ^= parity(q0..q7)",
-        c,
-        |x| {
-            let p = ((x & 0xFF).count_ones() & 1) as usize;
-            x ^ (p << 8)
-        },
-    )
+    Benchmark::new("parity9", "q8 ^= parity(q0..q7)", c, |x| {
+        let p = ((x & 0xFF).count_ones() & 1) as usize;
+        x ^ (p << 8)
+    })
 }
 
 /// `majority5`: majority vote of 5 inputs (`q0..q4`) onto `q8`, using a

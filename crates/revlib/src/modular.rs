@@ -52,7 +52,9 @@ pub fn mod5_4() -> Benchmark {
 /// `q4` — a small arithmetic mixer exercising CX/CCX chains.
 pub fn mod_mixer() -> Benchmark {
     let mut c = Circuit::with_name(5, "mod_mixer");
-    c.cx(0, 3).cx(1, 3).cx(2, 3) // q3 ^= parity
+    c.cx(0, 3)
+        .cx(1, 3)
+        .cx(2, 3) // q3 ^= parity
         .ccx(0, 1, 4)
         .ccx(1, 2, 4)
         .ccx(0, 2, 4); // q4 ^= pair-count parity = bit1 of weight

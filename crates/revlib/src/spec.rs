@@ -165,21 +165,16 @@ pub fn classical_eval(circuit: &Circuit, input: usize) -> usize {
 pub fn toffoli_double() -> Benchmark {
     let mut c = Circuit::with_name(3, "toffoli_double");
     c.ccx(0, 1, 2).cx(0, 1);
-    Benchmark::new(
-        "toffoli_double",
-        "q2 ^= q0·q1 then q1 ^= q0",
-        c,
-        |x| {
-            let mut s = x;
-            if s & 0b01 != 0 && s & 0b10 != 0 {
-                s ^= 0b100;
-            }
-            if s & 0b01 != 0 {
-                s ^= 0b010;
-            }
-            s
-        },
-    )
+    Benchmark::new("toffoli_double", "q2 ^= q0·q1 then q1 ^= q0", c, |x| {
+        let mut s = x;
+        if s & 0b01 != 0 && s & 0b10 != 0 {
+            s ^= 0b100;
+        }
+        if s & 0b01 != 0 {
+            s ^= 0b010;
+        }
+        s
+    })
 }
 
 #[cfg(test)]

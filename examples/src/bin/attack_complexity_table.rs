@@ -7,9 +7,7 @@
 //! cargo run -p examples --bin attack_complexity_table
 //! ```
 
-use tetrislock::attack::{
-    saki_complexity_log10, tetrislock_complexity_log10, SegmentCensus,
-};
+use tetrislock::attack::{saki_complexity_log10, tetrislock_complexity_log10, SegmentCensus};
 use tetrislock::Obfuscator;
 
 fn main() {

@@ -47,12 +47,10 @@ fn main() {
         }
         let victim_in_frame: Circuit = victim.remapped(n, &frame).expect("total frame");
 
-        let outcome = brute_force_reassembly(
-            &split.left.circuit,
-            &split.right.circuit,
-            n,
-            |candidate| equivalent_up_to_phase(candidate, &victim_in_frame, 1e-9).unwrap_or(false),
-        );
+        let outcome =
+            brute_force_reassembly(&split.left.circuit, &split.right.circuit, n, |candidate| {
+                equivalent_up_to_phase(candidate, &victim_in_frame, 1e-9).unwrap_or(false)
+            });
         println!(
             "{:<6} {:>8} {:>8} {:>12} {:>9} {:>10}",
             seed,

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.depth()
     );
     let ideal = Statevector::from_circuit(&circuit)?;
-    println!("P(marked) in the clean circuit: {:.3}\n", ideal.probability(marked));
+    println!(
+        "P(marked) in the clean circuit: {:.3}\n",
+        ideal.probability(marked)
+    );
 
     let obfuscator = Obfuscator::new().with_config(InsertionConfig {
         policy: GatePolicy::Hadamard,

@@ -38,14 +38,20 @@ fn main() {
     for (figure, seed) in [("Figure 2", 1u64), ("Figure 3", 99u64)] {
         let pattern = InterlockPattern::random_for(&obf, seed);
         let split = obf.split_with(&pattern);
-        println!("\n==== {figure}-style split (pattern cuts: {:?}) ====", pattern.cuts());
+        println!(
+            "\n==== {figure}-style split (pattern cuts: {:?}) ====",
+            pattern.cuts()
+        );
         let cut_markers: Vec<(u32, usize)> = pattern
             .cuts()
             .iter()
             .enumerate()
             .map(|(q, &c)| (q as u32, c))
             .collect();
-        print!("{}", display::render_with_cuts(obf.obfuscated(), &cut_markers));
+        print!(
+            "{}",
+            display::render_with_cuts(obf.obfuscated(), &cut_markers)
+        );
         println!(
             "split 1: {} qubits, {} gates    split 2: {} qubits, {} gates    mismatched: {}",
             split.left.circuit.num_qubits(),

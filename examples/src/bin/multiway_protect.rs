@@ -44,9 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         // Pair halves must sit in strictly ascending segments.
-        let separated = obf.insertion().pairs.iter().all(|p| {
-            split.assignment[p.inverse_index] < split.assignment[p.forward_index]
-        });
+        let separated = obf
+            .insertion()
+            .pairs
+            .iter()
+            .all(|p| split.assignment[p.inverse_index] < split.assignment[p.forward_index]);
         let restored = split.recombine()?;
         let exact = (0..1usize << circuit.num_qubits())
             .all(|x| classical_eval(&restored, x) == bench.eval(x));

@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", display::render(&split.left.circuit));
     println!("right (goes to compiler B):");
     print!("{}", display::render(&split.right.circuit));
-    println!(
-        "qubit counts differ: {}\n",
-        split.has_mismatched_qubits()
-    );
+    println!("qubit counts differ: {}\n", split.has_mismatched_qubits());
 
     // 4. Each compiler sees only its segment... (see the
     //    `untrusted_compiler_flow` example for actual compilation).

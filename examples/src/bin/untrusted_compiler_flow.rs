@@ -79,13 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (right_map, total) =
         segment_to_original(&split.right.wire_map, &right_logical, n_orig, next);
 
-    let recombined = recombine_compiled(
-        total,
-        &left_logical,
-        &left_map,
-        &right_logical,
-        &right_map,
-    )?;
+    let recombined =
+        recombine_compiled(total, &left_logical, &left_map, &right_logical, &right_map)?;
     println!(
         "recombined executable circuit: {} gates over {} wires",
         recombined.gate_count(),

@@ -39,7 +39,12 @@ fn zero_noise_gives_perfect_accuracy_for_classical_circuits() {
             .with_seed(7)
             .run_noisy(bench.circuit(), &NoiseModel::ideal())
             .unwrap();
-        assert_eq!(accuracy(&counts, bench.expected_output()), 1.0, "{}", bench.name());
+        assert_eq!(
+            accuracy(&counts, bench.expected_output()),
+            1.0,
+            "{}",
+            bench.name()
+        );
     }
 }
 
@@ -77,8 +82,14 @@ fn classical_and_statevector_paths_agree_statistically() {
         .two_qubit_error(0.02)
         .readout_error(0.01)
         .build();
-    let fast = Sampler::new(6000).with_seed(1).run_noisy(bench.circuit(), &noise).unwrap();
-    let slow = Sampler::new(6000).with_seed(2).run_noisy(&quantum, &noise).unwrap();
+    let fast = Sampler::new(6000)
+        .with_seed(1)
+        .run_noisy(bench.circuit(), &noise)
+        .unwrap();
+    let slow = Sampler::new(6000)
+        .with_seed(2)
+        .run_noisy(&quantum, &noise)
+        .unwrap();
     let d = tvd(&fast, &slow);
     assert!(d < 0.06, "paths diverge: tvd = {d}");
 }
@@ -87,8 +98,14 @@ fn classical_and_statevector_paths_agree_statistically() {
 fn tvd_of_noisy_self_is_small() {
     let bench = rd53();
     let device = Device::fake_valencia_extended(7);
-    let a = Sampler::new(2000).with_seed(3).run_noisy(bench.circuit(), device.noise()).unwrap();
-    let b = Sampler::new(2000).with_seed(4).run_noisy(bench.circuit(), device.noise()).unwrap();
+    let a = Sampler::new(2000)
+        .with_seed(3)
+        .run_noisy(bench.circuit(), device.noise())
+        .unwrap();
+    let b = Sampler::new(2000)
+        .with_seed(4)
+        .run_noisy(bench.circuit(), device.noise())
+        .unwrap();
     assert!(tvd(&a, &b) < 0.1);
     // And TVD vs the ideal output reflects the noise level, not zero.
     let t = tvd_vs_ideal(&a, bench.expected_output());
@@ -100,11 +117,17 @@ fn extended_device_noise_grows_with_register() {
     // More qubits → more readout corruption on the all-qubit measurement.
     let small = Sampler::new(4000)
         .with_seed(5)
-        .run_noisy(&qcir::Circuit::new(2), Device::fake_valencia_extended(2).noise())
+        .run_noisy(
+            &qcir::Circuit::new(2),
+            Device::fake_valencia_extended(2).noise(),
+        )
         .unwrap();
     let large = Sampler::new(4000)
         .with_seed(6)
-        .run_noisy(&qcir::Circuit::new(12), Device::fake_valencia_extended(12).noise())
+        .run_noisy(
+            &qcir::Circuit::new(12),
+            Device::fake_valencia_extended(12).noise(),
+        )
         .unwrap();
     assert!(small.probability(0) > large.probability(0));
 }

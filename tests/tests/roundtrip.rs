@@ -164,7 +164,10 @@ fn gate_overhead_within_paper_budget() {
     for bench in table1_benchmarks() {
         for seed in 0..10u64 {
             let obf = Obfuscator::new()
-                .with_config(InsertionConfig { seed, ..Default::default() })
+                .with_config(InsertionConfig {
+                    seed,
+                    ..Default::default()
+                })
                 .obfuscate(bench.circuit());
             assert!(obf.insertion().gate_overhead() <= 4);
         }

@@ -1,0 +1,291 @@
+//! Offline API-subset shim of
+//! [`criterion`](https://crates.io/crates/criterion), vendored because
+//! this workspace builds in a network-less container (see
+//! `vendor/README.md`).
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`] / [`criterion_main!`], [`black_box`] — as a
+//! small but genuine wall-clock harness: each benchmark is warmed up,
+//! then timed over enough iterations to fill a measurement window, and
+//! the per-iteration mean / min / max are printed. No statistics
+//! beyond that, no HTML reports, no baselines.
+//!
+//! ```
+//! use criterion::{BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::default().with_measurement_millis(5);
+//! let mut group = c.benchmark_group("sums");
+//! group.bench_with_input(BenchmarkId::from_parameter(1000), &1000u64, |b, &n| {
+//!     b.iter(|| (0..n).sum::<u64>());
+//! });
+//! group.finish();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, e.g. by its input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id labelled by the input parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the measurement window (useful to keep doctests fast).
+    pub fn with_measurement_millis(mut self, millis: u64) -> Self {
+        self.measurement = Duration::from_millis(millis);
+        self.warmup = Duration::from_millis(millis.div_ceil(4));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Times a standalone (ungrouped) benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(self.warmup, self.measurement, &name.into(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes measurement by
+    /// wall-clock window rather than sample count, so it is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` against one `input`, labelled `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.warmup,
+            self.criterion.measurement,
+            &label,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Times a benchmark with no explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.warmup,
+            self.criterion.measurement,
+            &label,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (report lines are emitted eagerly, so this only
+    /// exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mode: BencherMode,
+    samples: Vec<Duration>,
+}
+
+#[derive(Debug, Default, PartialEq, Eq, Clone, Copy)]
+enum BencherMode {
+    /// Run the routine once per call, untimed, to warm caches.
+    #[default]
+    Warmup,
+    /// Record one timed sample per `iter` call.
+    Measure,
+}
+
+impl Bencher {
+    /// Runs the benchmark routine and (in measurement mode) records one
+    /// timing sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BencherMode::Warmup => {
+                black_box(routine());
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_one(warmup: Duration, window: Duration, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode: BencherMode::Warmup,
+        samples: Vec::new(),
+    };
+    let start = Instant::now();
+    loop {
+        f(&mut bencher);
+        if start.elapsed() >= warmup {
+            break;
+        }
+    }
+
+    bencher.mode = BencherMode::Measure;
+    let start = Instant::now();
+    while start.elapsed() < window {
+        f(&mut bencher);
+    }
+
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{label:<40} {:>12} mean {:>12} min {:>12} max  ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        format_duration(max),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function that runs each target in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_records_samples() {
+        let mut c = Criterion::default().with_measurement_millis(5);
+        let mut group = c.benchmark_group("test");
+        group.bench_with_input(BenchmarkId::from_parameter("sum"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+        assert_eq!(BenchmarkId::new("routing", 5).to_string(), "routing/5");
+    }
+
+    #[test]
+    fn duration_formatting_covers_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,34 @@
+//! Strategies for collections (only `Vec` is needed in this workspace).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and
+/// whose elements are drawn from `element`; see [`vec()`].
+pub struct VecStrategy<E, Z> {
+    element: E,
+    size: Z,
+}
+
+/// Generates vectors of values from `element` with lengths from `size`
+/// (any usize-valued strategy — in practice a range like `1..=20`).
+pub fn vec<E, Z>(element: E, size: Z) -> VecStrategy<E, Z>
+where
+    E: Strategy,
+    Z: Strategy<Value = usize>,
+{
+    VecStrategy { element, size }
+}
+
+impl<E, Z> Strategy for VecStrategy<E, Z>
+where
+    E: Strategy,
+    Z: Strategy<Value = usize>,
+{
+    type Value = Vec<E::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

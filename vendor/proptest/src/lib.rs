@@ -1,0 +1,238 @@
+//! Offline API-subset shim of
+//! [`proptest`](https://crates.io/crates/proptest), vendored because this
+//! workspace builds in a network-less container (see `vendor/README.md`).
+//!
+//! Implements the surface the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//!   `prop_filter` / `prop_filter_map` / `boxed`, implemented for integer
+//!   ranges and tuples of strategies;
+//! * [`prop_oneof!`] unions, [`collection::vec`];
+//! * the [`proptest!`] test macro with `#![proptest_config(...)]`,
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * a deterministic per-test RNG ([`test_runner::TestRng`]) so failures
+//!   reproduce run-to-run.
+//!
+//! Unlike real proptest there is **no shrinking** and no failure
+//! persistence: a failing case reports its case number and message, and
+//! the deterministic seeding (derived from the test name) makes it
+//! reproducible. That trade-off keeps the shim tiny while preserving the
+//! "hold for arbitrary inputs" power of the tests.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! // Strategies compose exactly as in real proptest...
+//! let strategy = (0u32..1000, 1usize..=4)
+//!     .prop_map(|(base, reps)| vec![base; reps])
+//!     .prop_filter("non-empty", |v| !v.is_empty());
+//!
+//! // ...and generate from a deterministic per-test RNG.
+//! let mut rng = TestRng::for_test("doc_example");
+//! let v = strategy.generate(&mut rng);
+//! assert!((1..=4).contains(&v.len()));
+//! ```
+//!
+//! Tests use the macro form (`proptest! { #[test] fn prop(x in 0u32..10)
+//! { ... } }`) exactly as with the real crate; see this workspace's
+//! `tests/tests/properties.rs` for full examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Picks uniformly among several strategies with a common value type.
+///
+/// Each arm is boxed, so arms may be different concrete strategy types as
+/// long as their `Value`s agree.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current test case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs its body against `cases` generated inputs (default 256, override
+/// with `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        ($config:expr);
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __strategies = ( $($strategy,)+ );
+                for __case in 0..__config.cases {
+                    let ( $(ref $arg,)+ ) = __strategies;
+                    let ( $($arg,)+ ) = (
+                        $($crate::strategy::Strategy::generate($arg, &mut __rng),)+
+                    );
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__err) = __result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn oneof_union_covers_all_arms() {
+        let strategy = prop_oneof![0u32..1, 10u32..11, 20u32..21];
+        let mut rng = crate::test_runner::TestRng::for_test("arms");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match strategy.generate(&mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                20 => seen[2] = true,
+                other => panic!("impossible value {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strategy = (2u32..5, 1usize..=3).prop_flat_map(|(n, len)| {
+            crate::collection::vec((0..n).prop_map(move |q| q * 2), 1..=len)
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("compose");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| x % 2 == 0 && x < 8));
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_and_retries() {
+        let strategy =
+            (0u32..10, 0u32..10).prop_filter_map("distinct", |(a, b)| (a != b).then_some((a, b)));
+        let mut rng = crate::test_runner::TestRng::for_test("filter");
+        for _ in 0..100 {
+            let (a, b) = strategy.generate(&mut rng);
+            assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_within_bounds(x in 5u64..50, y in 0usize..=3) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Test execution support: configuration, errors and the deterministic
+//! per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Per-test configuration; today only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property check (produced by the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG driving generation, seeded deterministically from the test
+/// name so every run explores the same inputs (no shrinking means
+/// reproducibility must come from the seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        0xC1ACu16.hash(&mut hasher);
+        name.hash(&mut hasher);
+        TestRng {
+            rng: StdRng::seed_from_u64(hasher.finish()),
+        }
+    }
+
+    /// Access to the underlying generator for strategies.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

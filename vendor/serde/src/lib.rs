@@ -1,0 +1,21 @@
+//! Offline API-subset shim of [`serde`](https://crates.io/crates/serde),
+//! vendored because this workspace builds in a network-less container
+//! (see `vendor/README.md`).
+//!
+//! Exposes the two trait names and their derive macros so `use serde::
+//! {Deserialize, Serialize}` + `#[derive(Serialize, Deserialize)]`
+//! compile unchanged. The traits are empty markers and the derives
+//! expand to nothing — nothing in this workspace actually serializes
+//! through serde (the CLI sidecar format is hand-rolled text). Replacing
+//! this shim with the real crates requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde shim.
+//!
+//! The workspace derives serde traits on its data types so downstream
+//! consumers *can* wire up real serialization, but nothing in-tree
+//! serializes through serde today (the CLI's `.tlk` sidecar is a
+//! hand-rolled text format). In this network-less build the derives
+//! therefore expand to nothing; swapping the real `serde`/`serde_derive`
+//! back in (see `vendor/README.md`) restores full codegen without any
+//! source change.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
