@@ -1,0 +1,80 @@
+//! Criterion bench: the `qverify` equivalence tiers on revlib
+//! round-trips.
+//!
+//! Measures what each tier pays to certify `recombine(split(obfuscate(C)))
+//! ≡ C` — the check behind every correctness claim — and how the
+//! stabilizer tableau scales where dense extraction cannot go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcir::Circuit;
+use qverify::Verifier;
+use revlib::{mini_alu, rd53, rd73};
+use tetrislock::recombine::recombine;
+use tetrislock::Obfuscator;
+
+/// Original + recombined round-trip pair for a benchmark circuit.
+fn roundtrip_pair(circuit: &Circuit) -> (Circuit, Circuit) {
+    let obf = Obfuscator::new().with_seed(11).obfuscate(circuit);
+    let split = obf.split(3);
+    let restored = recombine(&split).expect("recombination is total");
+    (circuit.clone(), restored)
+}
+
+fn bench_tiers_on_revlib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qverify_tiers");
+    group.sample_size(10);
+    let verifier = Verifier::new().with_trials(4).with_seed(5);
+    for bench in [mini_alu(), rd53(), rd73()] {
+        let pair = roundtrip_pair(bench.circuit());
+        group.bench_with_input(
+            BenchmarkId::new("auto", bench.name()),
+            &pair,
+            |b, (orig, rest)| {
+                b.iter(|| verifier.check(orig, rest));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dense", bench.name()),
+            &pair,
+            |b, (orig, rest)| {
+                b.iter(|| verifier.check_dense(orig, rest).expect("fits"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stimulus", bench.name()),
+            &pair,
+            |b, (orig, rest)| {
+                b.iter(|| verifier.check_stimulus(orig, rest).expect("fits"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tableau_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qverify_tableau");
+    let verifier = Verifier::new();
+    for n in [50u32, 100, 200] {
+        // A wide Clifford entangler and a syntactically different copy.
+        let mut a = Circuit::new(n);
+        let mut b = Circuit::new(n);
+        for q in 0..n - 1 {
+            a.h(q).cx(q, q + 1).s(q + 1);
+            b.h(q).cx(q, q + 1).s(q + 1);
+        }
+        b.z(0).z(0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| {
+                verifier
+                    .check_tableau(a, b)
+                    .expect("clifford")
+                    .verdict
+                    .is_equivalent()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiers_on_revlib, bench_tableau_scaling);
+criterion_main!(benches);

@@ -117,7 +117,7 @@ fn main() {
         let restored = split.recombine().expect("recombination is total");
         let ok = (0..1usize << circuit.num_qubits())
             .step_by(97)
-            .all(|x| revlib::classical_eval(&restored, x) == bench.eval(x));
+            .all(|x| revlib::classical_eval(&restored, x).expect("classical") == bench.eval(x));
         println!(
             "{:<9} {:>14} {:>16} {:>10}",
             k,

@@ -60,7 +60,8 @@ commands:
             [--seed N] [--limit K] [--policy xcx|h|mixed] [--split-seed N]
             [--segments K --out-prefix P]   (k-way split: writes P0.qasm…)
   recombine <seg> <seg> [<seg>…] --meta F --out F [--verify <original>]
-  verify    <a> <b>                                functional equivalence
+  verify    <a> <b> [--trials N] [--seed N]        tiered equivalence check
+            (classical / tableau / dense-unitary / random stimulus)
   compile   <circuit> --out F [--device valencia|ideal|linear:<n>]
   help
 
@@ -301,46 +302,63 @@ fn recombine_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn verify(args: &[String]) -> Result<(), String> {
-    let (paths, _) = parse(args)?;
+    let (paths, options) = parse(args)?;
     if paths.len() < 2 {
         return Err("verify expects two circuit files".into());
     }
     let a = io::read_circuit(&paths[0])?;
     let b = io::read_circuit(&paths[1])?;
-    let ok = check_equivalence(&a, &b)?;
-    println!("{}", if ok { "equivalent" } else { "NOT equivalent" });
-    if ok {
-        Ok(())
-    } else {
-        Err("circuits differ".into())
+    let trials: u64 = option(&options, "trials")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "bad --trials")?;
+    let seed: u64 = option(&options, "seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+    let report = verification_report(
+        &a,
+        &b,
+        &qverify::Verifier::new().with_trials(trials).with_seed(seed),
+    );
+    println!("{report}");
+    match &report.verdict {
+        qverify::Verdict::Equivalent => Ok(()),
+        qverify::Verdict::Inequivalent { .. } => Err("circuits differ".into()),
+        qverify::Verdict::Inconclusive { .. } => Err(inconclusive_message(&report).into()),
     }
 }
 
-/// Equivalence check: exhaustive classical permutation comparison when
-/// both circuits are classical (exact, any size up to 20 qubits), full
-/// unitary comparison otherwise (≤ 10 qubits). The smaller circuit is
-/// padded onto the larger register; extra wires must act as identity.
-fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<bool, String> {
+/// Why no tier could decide: zero configured trials reads very
+/// differently from a register past every tier's reach.
+fn inconclusive_message(report: &qverify::Report) -> &'static str {
+    if report.tier == qverify::Tier::Stimulus && report.trials == 0 {
+        "no stimulus trials configured (pass --trials N with N >= 1)"
+    } else {
+        "register too large for every verification tier"
+    }
+}
+
+/// Runs the tiered `qverify` engine (classical permutation → stabilizer
+/// tableau → dense unitary → parallel random stimulus). The smaller
+/// circuit is padded onto the larger register; extra wires must act as
+/// identity.
+fn verification_report(a: &Circuit, b: &Circuit, verifier: &qverify::Verifier) -> qverify::Report {
     let n = a.num_qubits().max(b.num_qubits());
     let pad = |c: &Circuit| -> Circuit {
         let mut out = Circuit::with_name(n, c.name());
         out.compose(c).expect("padding cannot fail");
         out
     };
-    let (pa, pb) = (pad(a), pad(b));
-    let classical = pa.iter().chain(pb.iter()).all(|i| i.gate().is_classical());
-    if classical {
-        if n > 20 {
-            return Err("classical comparison capped at 20 qubits".into());
-        }
-        for input in 0..1usize << n {
-            if revlib::classical_eval(&pa, input) != revlib::classical_eval(&pb, input) {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    } else {
-        qsim::unitary::equivalent_up_to_phase(&pa, &pb, 1e-9).map_err(|e| e.to_string())
+    verifier.check_report(&pad(a), &pad(b))
+}
+
+fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<bool, String> {
+    let report = verification_report(a, b, &qverify::Verifier::new());
+    match report.verdict {
+        qverify::Verdict::Equivalent => Ok(true),
+        qverify::Verdict::Inequivalent { .. } => Ok(false),
+        qverify::Verdict::Inconclusive { .. } => Err(inconclusive_message(&report).into()),
     }
 }
 

@@ -16,6 +16,7 @@
 //!    widths don't reveal the original register size.
 
 use qcir::{Circuit, Qubit};
+use qverify::Verifier;
 use std::collections::BTreeMap;
 
 /// One candidate reassembly: where each right-segment wire landed.
@@ -149,6 +150,21 @@ fn enumerate<F: FnMut(&[u32])>(
     }
 }
 
+/// Builds the strongest oracle the model allows: functional equivalence
+/// with the victim design, decided by the tiered `qverify` engine — so
+/// key-discrimination loops scale past the dense-unitary cap (stimulus
+/// tier for wide registers, stabilizer tableau for Clifford victims).
+///
+/// A candidate on a different register size is never a match; anything
+/// short of a definite [`qverify::Verdict::Equivalent`] counts as a
+/// failed reassembly, which is the conservative reading for an attacker.
+pub fn equivalence_oracle<'a>(
+    victim: &'a Circuit,
+    verifier: &'a Verifier,
+) -> impl Fn(&Circuit) -> bool + 'a {
+    move |candidate: &Circuit| verifier.check(victim, candidate).is_equivalent()
+}
+
 /// Number of injective placements of `n_right` wires into a register of
 /// `register` wires — the exact attempt count [`brute_force_reassembly`]
 /// performs (the falling factorial `register·(register−1)⋯`).
@@ -164,7 +180,6 @@ pub fn placement_count(register: u32, n_right: u32) -> u128 {
 mod tests {
     use super::*;
     use crate::obfuscate::Obfuscator;
-    use qsim::unitary::equivalent_up_to_phase;
 
     fn victim() -> Circuit {
         let mut c = Circuit::with_name(4, "victim");
@@ -209,10 +224,9 @@ mod tests {
         }
         let victim_in_frame = c.remapped(c.num_qubits(), &frame).expect("total frame");
 
-        let outcome =
-            brute_force_reassembly(&split.left.circuit, &split.right.circuit, 4, |candidate| {
-                equivalent_up_to_phase(candidate, &victim_in_frame, 1e-9).unwrap_or(false)
-            });
+        let verifier = Verifier::new();
+        let oracle = equivalence_oracle(&victim_in_frame, &verifier);
+        let outcome = brute_force_reassembly(&split.left.circuit, &split.right.circuit, 4, oracle);
         // Exhaustive search with a perfect oracle must recover at least
         // one functional reassembly (the designer's own).
         assert!(
@@ -235,14 +249,12 @@ mod tests {
             .num_qubits()
             .max(split.right.circuit.num_qubits());
         if small < 4 {
+            let verifier = Verifier::new();
             let outcome = brute_force_reassembly(
                 &split.left.circuit,
                 &split.right.circuit,
                 small,
-                |candidate| {
-                    candidate.num_qubits() == c.num_qubits()
-                        && equivalent_up_to_phase(candidate, &c, 1e-9).unwrap_or(false)
-                },
+                equivalence_oracle(&c, &verifier),
             );
             assert!(outcome.matches.is_empty());
         }

@@ -24,12 +24,17 @@
 //! [`baselines`] implements those prior schemes for head-to-head
 //! comparison.
 //!
+//! Equivalence claims (restoration works, wrong keys fail) are decided
+//! by the tiered `qverify` engine, which scales past dense-unitary
+//! extraction via a stabilizer tableau and a parallel random-stimulus
+//! miter.
+//!
 //! # Example
 //!
 //! ```
 //! use qcir::Circuit;
+//! use qverify::Verifier;
 //! use tetrislock::{Obfuscator, recombine::recombine};
-//! use qsim::unitary::equivalent_up_to_phase;
 //!
 //! // The secret design.
 //! let mut c = Circuit::new(4);
@@ -42,7 +47,7 @@
 //!
 //! // Each segment goes to a different compiler... then recombine.
 //! let restored = recombine(&split)?;
-//! assert!(equivalent_up_to_phase(&c, &restored, 1e-9)?);
+//! assert!(Verifier::new().check(&c, &restored).is_equivalent());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

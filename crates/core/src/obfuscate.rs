@@ -169,6 +169,40 @@ impl Obfuscation {
         pattern.split(self)
     }
 
+    /// Recombines `split` and checks the result against the original
+    /// design with the tiered verifier — usable far past the
+    /// dense-unitary cap (Clifford designs via the stabilizer tableau,
+    /// larger general circuits via the parallel stimulus miter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LockError::Recombine`] if the split's wire maps
+    /// are incomplete.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// use qverify::Verifier;
+    /// use tetrislock::Obfuscator;
+    ///
+    /// let mut c = Circuit::new(4);
+    /// c.h(0).cx(0, 1).cx(1, 2).cx(0, 1);
+    /// let obf = Obfuscator::new().with_seed(1).obfuscate(&c);
+    /// let split = obf.split(7);
+    /// let verdict = obf.verify_roundtrip(&split, &Verifier::new())?;
+    /// assert!(verdict.is_equivalent());
+    /// # Ok::<(), tetrislock::LockError>(())
+    /// ```
+    pub fn verify_roundtrip(
+        &self,
+        split: &SplitPair,
+        verifier: &qverify::Verifier,
+    ) -> Result<qverify::Verdict, crate::LockError> {
+        let restored = crate::recombine::recombine(split)?;
+        Ok(verifier.check(&self.original, &restored))
+    }
+
     /// The seed used for insertion (recorded for reproducibility).
     pub fn seed(&self) -> u64 {
         self.seed

@@ -23,15 +23,15 @@ use std::collections::BTreeMap;
 ///
 /// ```
 /// use qcir::Circuit;
+/// use qverify::Verifier;
 /// use tetrislock::{Obfuscator, recombine::recombine};
-/// use qsim::unitary::equivalent_up_to_phase;
 ///
 /// let mut c = Circuit::new(4);
 /// c.h(0).cx(0, 1).cx(1, 2).cx(0, 1);
 /// let obf = Obfuscator::new().with_seed(3).obfuscate(&c);
 /// let split = obf.split(9);
 /// let restored = recombine(&split)?;
-/// assert!(equivalent_up_to_phase(&c, &restored, 1e-9)?);
+/// assert!(Verifier::new().check(&c, &restored).is_equivalent());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn recombine(split: &SplitPair) -> Result<Circuit, LockError> {
@@ -86,7 +86,7 @@ fn append_segment(out: &mut Circuit, segment: &Segment) -> Result<(), LockError>
 mod tests {
     use super::*;
     use crate::obfuscate::Obfuscator;
-    use qsim::unitary::equivalent_up_to_phase;
+    use qverify::Verifier;
 
     fn sample() -> Circuit {
         let mut c = Circuit::with_name(5, "rt");
@@ -96,15 +96,13 @@ mod tests {
 
     #[test]
     fn recombined_split_equals_original() {
+        let verifier = Verifier::new();
         for seed in 0..15 {
             let c = sample();
             let obf = Obfuscator::new().with_seed(seed).obfuscate(&c);
             let split = obf.split(seed ^ 0xDEAD);
             let restored = recombine(&split).unwrap();
-            assert!(
-                equivalent_up_to_phase(&c, &restored, 1e-9).unwrap(),
-                "seed {seed}"
-            );
+            assert!(verifier.check(&c, &restored).is_equivalent(), "seed {seed}");
         }
     }
 

@@ -10,9 +10,15 @@ use crate::matrix::Matrix;
 use crate::statevector::Statevector;
 use qcir::Circuit;
 
-/// Maximum register size for dense unitary extraction (2¹² × 2¹² complex
-/// entries ≈ 256 MiB is already excessive; we cap well below).
-pub const MAX_UNITARY_QUBITS: u32 = 10;
+/// Maximum register size for dense unitary extraction.
+///
+/// A 12-qubit unitary is `2¹² × 2¹²` complex entries ≈ 256 MiB and
+/// `O(4ⁿ·gates)` time to extract — the hard ceiling of the dense path.
+/// Oversized registers fail fast with a typed
+/// [`SimError::TooManyQubits`] *before* any allocation. The `qverify`
+/// crate re-exports this constant and uses it to route larger circuits
+/// onto its stabilizer-tableau and random-stimulus tiers.
+pub const MAX_UNITARY_QUBITS: u32 = 12;
 
 /// Computes the full `2ⁿ × 2ⁿ` unitary implemented by `circuit` by applying
 /// it to every basis state (columns of the matrix).

@@ -1,0 +1,99 @@
+//! Classical tier: exhaustive permutation comparison for reversible
+//! circuits.
+//!
+//! Classical reversible circuits (X/CX/CCX/MCX/SWAP/CSWAP — the RevLib
+//! domain) act as permutations of basis states, so equivalence is
+//! decidable by evaluating both circuits on every basis input with plain
+//! bit operations — exact at register sizes where even the statevector
+//! is out of reach, and far cheaper than any amplitude arithmetic below
+//! [`crate::CLASSICAL_EXHAUSTIVE_MAX_QUBITS`].
+
+use crate::{Report, Tier, Verdict, Witness};
+use qcir::Circuit;
+use revlib::classical_eval;
+
+/// Exhaustively compares two classical circuits on every basis input.
+///
+/// Callers guarantee both circuits contain only classical gates; if a
+/// non-classical gate slips through, the tier degrades to
+/// [`Verdict::Inconclusive`] rather than panicking.
+pub(crate) fn check(a: &Circuit, b: &Circuit) -> Report {
+    let n = a.num_qubits();
+    for input in 0..1usize << n {
+        let (left, right) = match (classical_eval(a, input), classical_eval(b, input)) {
+            (Ok(left), Ok(right)) => (left, right),
+            _ => {
+                return Report {
+                    verdict: Verdict::Inconclusive { confidence: 0.0 },
+                    tier: Tier::Classical,
+                    trials: 0,
+                }
+            }
+        };
+        if left != right {
+            return Report {
+                verdict: Verdict::Inequivalent {
+                    witness: Witness::BasisInput {
+                        input: input as u64,
+                        left_output: left as u64,
+                        right_output: right as u64,
+                    },
+                },
+                tier: Tier::Classical,
+                trials: 0,
+            };
+        }
+    }
+    Report {
+        verdict: Verdict::Equivalent,
+        tier: Tier::Classical,
+        trials: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_permutations_accepted() {
+        let mut a = Circuit::new(3);
+        a.cx(0, 1).ccx(0, 1, 2);
+        let report = check(&a, &a.clone());
+        assert!(report.verdict.is_equivalent());
+        assert_eq!(report.tier, Tier::Classical);
+    }
+
+    #[test]
+    fn differing_permutations_yield_basis_witness() {
+        let mut a = Circuit::new(3);
+        a.ccx(0, 1, 2);
+        let b = Circuit::new(3);
+        let report = check(&a, &b);
+        match report.verdict {
+            Verdict::Inequivalent {
+                witness:
+                    Witness::BasisInput {
+                        input,
+                        left_output,
+                        right_output,
+                    },
+            } => {
+                assert_eq!(input, 0b011);
+                assert_eq!(left_output, 0b111);
+                assert_eq!(right_output, 0b011);
+            }
+            other => panic!("expected basis witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_classical_gate_degrades_to_inconclusive() {
+        let mut a = Circuit::new(1);
+        a.h(0);
+        assert!(matches!(
+            check(&a, &a.clone()).verdict,
+            Verdict::Inconclusive { .. }
+        ));
+    }
+}

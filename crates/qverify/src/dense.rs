@@ -1,0 +1,139 @@
+//! Dense tier: the exhaustive ≤ [`MAX_UNITARY_QUBITS`]-qubit fallback.
+//!
+//! Compares the circuits column by column: each basis state is pushed
+//! through both circuits and the output overlap `⟨C₁·x|C₂·x⟩` is
+//! inspected. `C₁ ≃ C₂` up to global phase iff every column pair has
+//! unit overlap *and* all overlaps share one phase. Streaming one
+//! column at a time keeps memory at two `2ⁿ` statevectors (instead of
+//! two `2ⁿ×2ⁿ` matrices — ~512 MiB at the cap), exits early on the
+//! first diverging column, and still yields a concrete witness — a
+//! basis input with diverging outputs or a pair of basis inputs
+//! acquiring different phases.
+
+use crate::{Report, Tier, Verdict, Witness};
+use qcir::Circuit;
+use qsim::complex::C64;
+use qsim::unitary::MAX_UNITARY_QUBITS;
+use qsim::{SimError, Statevector};
+
+/// Dense equivalence check with witness extraction and early exit.
+pub(crate) fn check(a: &Circuit, b: &Circuit, eps: f64) -> Result<Report, SimError> {
+    let n = a.num_qubits();
+    if n > MAX_UNITARY_QUBITS {
+        return Err(SimError::TooManyQubits {
+            requested: n,
+            max: MAX_UNITARY_QUBITS,
+        });
+    }
+    let dim = 1usize << n;
+    let mut reference: Option<(usize, C64)> = None;
+    for col in 0..dim {
+        let mut sa = Statevector::basis(n, col)?;
+        sa.apply_circuit(a)?;
+        let mut sb = Statevector::basis(n, col)?;
+        sb.apply_circuit(b)?;
+        let overlap = sa.inner(&sb);
+        if (overlap.abs() - 1.0).abs() > eps {
+            return Ok(report(Verdict::Inequivalent {
+                witness: Witness::BasisColumn {
+                    input: col as u64,
+                    overlap: overlap.abs(),
+                },
+            }));
+        }
+        match reference {
+            None => reference = Some((col, overlap)),
+            Some((first, phase)) => {
+                if !overlap.approx_eq(phase, eps.max(1e-12) * 10.0) {
+                    return Ok(report(Verdict::Inequivalent {
+                        witness: Witness::RelativePhase {
+                            input_a: first as u64,
+                            input_b: col as u64,
+                        },
+                    }));
+                }
+            }
+        }
+    }
+    Ok(report(Verdict::Equivalent))
+}
+
+fn report(verdict: Verdict) -> Report {
+    Report {
+        verdict,
+        tier: Tier::Dense,
+        trials: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::unitary::equivalent_up_to_phase;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn agrees_with_qsim_boolean_check() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1).t(1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).t(1);
+        assert!(check(&a, &b, EPS).unwrap().verdict.is_equivalent());
+        assert!(equivalent_up_to_phase(&a, &b, EPS).unwrap());
+        b.s(0);
+        assert!(check(&a, &b, EPS).unwrap().verdict.is_inequivalent());
+        assert!(!equivalent_up_to_phase(&a, &b, EPS).unwrap());
+    }
+
+    #[test]
+    fn global_phase_difference_is_equivalent() {
+        let mut a = Circuit::new(1);
+        a.rz(0.9, 0);
+        let mut b = Circuit::new(1);
+        b.p(0.9, 0);
+        assert!(check(&a, &b, EPS).unwrap().verdict.is_equivalent());
+    }
+
+    #[test]
+    fn relative_phase_detected_with_witness() {
+        // CZ matches identity on every column magnitude but not phase.
+        let mut a = Circuit::new(2);
+        a.cz(0, 1);
+        let b = Circuit::new(2);
+        match check(&a, &b, EPS).unwrap().verdict {
+            Verdict::Inequivalent {
+                witness: Witness::RelativePhase { input_a, input_b },
+            } => {
+                assert_eq!(input_a, 0);
+                assert_eq!(input_b, 0b11);
+            }
+            other => panic!("expected relative-phase witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_divergence_yields_basis_witness() {
+        let mut a = Circuit::new(2);
+        a.x(1);
+        let b = Circuit::new(2);
+        match check(&a, &b, EPS).unwrap().verdict {
+            Verdict::Inequivalent {
+                witness: Witness::BasisColumn { input, overlap },
+            } => {
+                assert_eq!(input, 0);
+                assert!(overlap < 0.5);
+            }
+            other => panic!("expected basis-column witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_register_errors() {
+        let c = Circuit::new(MAX_UNITARY_QUBITS + 1);
+        assert!(matches!(
+            check(&c, &c.clone(), EPS),
+            Err(SimError::TooManyQubits { .. })
+        ));
+    }
+}

@@ -1,0 +1,562 @@
+//! # qverify — scalable circuit equivalence verification
+//!
+//! Every claim the TetrisLock reproduction makes — that
+//! obfuscate→split→compile→recombine restores the original circuit, and
+//! that a wrong interlock key does *not* — reduces to one question: do
+//! two circuits implement the same unitary (up to global phase)? Dense
+//! unitary extraction answers it exactly but dies at
+//! [`MAX_UNITARY_QUBITS`] qubits. This crate answers it through a
+//! *tiered* strategy instead, picking the cheapest decision procedure
+//! that applies:
+//!
+//! | Tier | Applies when | Cost | Verdict quality |
+//! |---|---|---|---|
+//! | [`Tier::Classical`] | both circuits are classical reversible, ≤ [`CLASSICAL_EXHAUSTIVE_MAX_QUBITS`] qubits | `O(2ⁿ·gates)` bit ops | exact (exhaustive) |
+//! | [`Tier::Tableau`] | both circuits are Clifford | `O(n·gates)` words | exact (stabilizer) |
+//! | [`Tier::Dense`] | ≤ [`MAX_UNITARY_QUBITS`] qubits | `O(4ⁿ·gates)` | exact (full unitary) |
+//! | [`Tier::Stimulus`] | ≤ [`MAX_STIMULUS_QUBITS`] qubits | `O(trials·2ⁿ·gates)`, parallel | statistical (miter) |
+//!
+//! The **tableau** tier is an Aaronson–Gottesman stabilizer engine: it
+//! conjugates the `2n` Pauli generators through `C₂†C₁` in `O(n)` per
+//! gate and accepts iff every generator returns to itself with positive
+//! sign — exact for Clifford circuits at hundreds of qubits. The
+//! **stimulus** tier builds the same miter `C₂†C₁` but runs it on
+//! randomized product-state inputs (seeded, reproducible) in parallel
+//! batches across threads; any input that fails to return to itself is a
+//! concrete counterexample [`Witness::Stimulus`].
+//!
+//! # Example
+//!
+//! ```
+//! use qcir::Circuit;
+//! use qverify::{Tier, Verdict, Verifier};
+//!
+//! // A 50-qubit Clifford pair: far beyond dense unitary reach.
+//! let mut a = Circuit::new(50);
+//! let mut b = Circuit::new(50);
+//! for q in 0..49 {
+//!     a.h(q).cx(q, q + 1);
+//!     b.h(q).cx(q, q + 1);
+//! }
+//! b.s(0).sdg(0); // extra canceling pair
+//! let verifier = Verifier::new();
+//! let report = verifier.check_report(&a, &b);
+//! assert_eq!(report.tier, Tier::Tableau);
+//! assert!(matches!(report.verdict, Verdict::Equivalent));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classical;
+mod clifford;
+mod dense;
+mod stimulus;
+mod tableau;
+
+use qcir::Circuit;
+use std::fmt;
+
+pub use qsim::statevector::MAX_QUBITS as MAX_STIMULUS_QUBITS;
+pub use qsim::unitary::MAX_UNITARY_QUBITS;
+
+/// Largest register for which the classical tier enumerates every basis
+/// input (`2¹⁶` evaluations per circuit); beyond it classical circuits
+/// fall through to the quantum tiers.
+pub const CLASSICAL_EXHAUSTIVE_MAX_QUBITS: u32 = 16;
+
+/// The decision procedure that produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Register-shape screening only (mismatched sizes, or no tier
+    /// applicable).
+    Structural,
+    /// Exhaustive classical permutation comparison.
+    Classical,
+    /// Aaronson–Gottesman stabilizer tableau.
+    Tableau,
+    /// Dense full-unitary extraction (the ≤ [`MAX_UNITARY_QUBITS`]-qubit
+    /// fallback).
+    Dense,
+    /// Randomized product-state miter, parallel across threads.
+    Stimulus,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tier::Structural => "structural",
+            Tier::Classical => "classical",
+            Tier::Tableau => "tableau",
+            Tier::Dense => "dense-unitary",
+            Tier::Stimulus => "stimulus",
+        })
+    }
+}
+
+/// Concrete evidence of inequivalence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Witness {
+    /// The circuits act on different register sizes.
+    RegisterMismatch {
+        /// Register of the first circuit.
+        left: u32,
+        /// Register of the second circuit.
+        right: u32,
+    },
+    /// A basis input the two classical circuits map differently.
+    BasisInput {
+        /// The diverging basis input.
+        input: u64,
+        /// Image under the first circuit.
+        left_output: u64,
+        /// Image under the second circuit.
+        right_output: u64,
+    },
+    /// A basis input whose output states have overlap below 1 (dense
+    /// tier).
+    BasisColumn {
+        /// The diverging basis input (unitary column).
+        input: u64,
+        /// `|⟨C₁·input|C₂·input⟩|`, strictly below 1.
+        overlap: f64,
+    },
+    /// Two basis inputs picking up different phases — the circuits agree
+    /// columnwise but only up to a *relative* phase (dense tier).
+    RelativePhase {
+        /// First basis input.
+        input_a: u64,
+        /// Second basis input, with a different phase.
+        input_b: u64,
+    },
+    /// A Pauli generator the miter `C₂†C₁` fails to fix (tableau tier).
+    Generator {
+        /// Qubit the generator acts on.
+        qubit: u32,
+        /// `true` for the `X` (destabilizer) generator, `false` for `Z`.
+        destabilizer: bool,
+    },
+    /// A randomized product-state input that did not return to itself
+    /// through the miter (stimulus tier). Reproducible: re-seeding the
+    /// preparation layer with `seed` rebuilds the exact input state.
+    Stimulus {
+        /// Trial index within the run.
+        trial: u64,
+        /// Seed of the per-qubit preparation layer.
+        seed: u64,
+        /// Measured return fidelity, strictly below 1.
+        fidelity: f64,
+    },
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Witness::RegisterMismatch { left, right } => {
+                write!(f, "register mismatch: {left} vs {right} qubits")
+            }
+            Witness::BasisInput {
+                input,
+                left_output,
+                right_output,
+            } => write!(
+                f,
+                "basis input {input:#b} maps to {left_output:#b} vs {right_output:#b}"
+            ),
+            Witness::BasisColumn { input, overlap } => write!(
+                f,
+                "basis input {input:#b} yields diverging outputs (overlap {overlap:.6})"
+            ),
+            Witness::RelativePhase { input_a, input_b } => write!(
+                f,
+                "basis inputs {input_a:#b} and {input_b:#b} acquire different phases"
+            ),
+            Witness::Generator {
+                qubit,
+                destabilizer,
+            } => write!(
+                f,
+                "miter does not fix Pauli {}{}",
+                if *destabilizer { "X" } else { "Z" },
+                qubit
+            ),
+            Witness::Stimulus {
+                trial,
+                seed,
+                fidelity,
+            } => write!(
+                f,
+                "stimulus trial {trial} (prep seed {seed:#x}) returned with fidelity {fidelity:.9}"
+            ),
+        }
+    }
+}
+
+/// The outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The circuits implement the same unitary up to global phase. Exact
+    /// for the classical/tableau/dense tiers; statistical for the
+    /// stimulus tier (see [`Report::confidence`]).
+    Equivalent,
+    /// The circuits differ, with concrete evidence.
+    Inequivalent {
+        /// Why the circuits are not equivalent.
+        witness: Witness,
+    },
+    /// No applicable tier could decide (register too large, or zero
+    /// trials configured).
+    Inconclusive {
+        /// Confidence in equivalence accumulated before giving up
+        /// (`0.0` when nothing ran).
+        confidence: f64,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Verdict::Equivalent)
+    }
+
+    /// `true` for [`Verdict::Inequivalent`].
+    pub fn is_inequivalent(&self) -> bool {
+        matches!(self, Verdict::Inequivalent { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Equivalent => f.write_str("equivalent"),
+            Verdict::Inequivalent { witness } => write!(f, "NOT equivalent ({witness})"),
+            Verdict::Inconclusive { confidence } => {
+                write!(f, "inconclusive (confidence {confidence:.4})")
+            }
+        }
+    }
+}
+
+/// A verdict together with how it was reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Which tier decided.
+    pub tier: Tier,
+    /// Stimulus trials executed (0 for the exact tiers).
+    pub trials: u64,
+}
+
+impl Report {
+    /// Confidence in the verdict: `1.0` for the exact tiers, and the
+    /// `1 − 2^{−trials}` Monte-Carlo heuristic for a stimulus
+    /// [`Verdict::Equivalent`] (each independent random product state
+    /// exposes a fixed non-identity miter with probability ≥ ½).
+    pub fn confidence(&self) -> f64 {
+        match (&self.verdict, self.tier) {
+            (Verdict::Inconclusive { confidence }, _) => *confidence,
+            (Verdict::Equivalent, Tier::Stimulus) => 1.0 - 0.5f64.powi(self.trials as i32),
+            _ => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} tier", self.verdict, self.tier)?;
+        if self.tier == Tier::Stimulus {
+            write!(f, ", {} trials", self.trials)?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// Tiered equivalence verifier.
+///
+/// Construction is cheap; a `Verifier` holds only configuration and can
+/// be reused across checks.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qverify::Verifier;
+///
+/// let mut a = Circuit::new(2);
+/// a.h(0).cx(0, 1);
+/// let mut b = Circuit::new(2);
+/// b.h(0).cx(0, 1);
+/// assert!(Verifier::new().check(&a, &b).is_equivalent());
+/// b.x(0);
+/// assert!(Verifier::new().check(&a, &b).is_inequivalent());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    eps: f64,
+    trials: u64,
+    threads: usize,
+    seed: u64,
+}
+
+impl Default for Verifier {
+    fn default() -> Self {
+        Verifier {
+            eps: 1e-9,
+            trials: 8,
+            threads: 0,
+            seed: 0x7e7_1257,
+        }
+    }
+}
+
+impl Verifier {
+    /// Creates a verifier with the default configuration (ε = 1e-9,
+    /// 8 stimulus trials, auto thread count).
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Sets the numeric tolerance used by the dense and stimulus tiers.
+    pub fn with_eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets the number of randomized stimulus trials.
+    pub fn with_trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the stimulus worker-thread count (`0` = derive from
+    /// available parallelism, capped by a per-register memory budget).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the base seed of the stimulus preparation layers.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Decides whether `original` and `candidate` implement the same
+    /// unitary up to global phase, via the cheapest applicable tier.
+    pub fn check(&self, original: &Circuit, candidate: &Circuit) -> Verdict {
+        self.check_report(original, candidate).verdict
+    }
+
+    /// Like [`Verifier::check`], but also reports which tier decided and
+    /// how many stimulus trials ran.
+    pub fn check_report(&self, original: &Circuit, candidate: &Circuit) -> Report {
+        let n = original.num_qubits();
+        if n != candidate.num_qubits() {
+            return Report {
+                verdict: Verdict::Inequivalent {
+                    witness: Witness::RegisterMismatch {
+                        left: n,
+                        right: candidate.num_qubits(),
+                    },
+                },
+                tier: Tier::Structural,
+                trials: 0,
+            };
+        }
+        let all_classical = |c: &Circuit| c.iter().all(|i| i.gate().is_classical());
+        if n <= CLASSICAL_EXHAUSTIVE_MAX_QUBITS
+            && all_classical(original)
+            && all_classical(candidate)
+        {
+            return classical::check(original, candidate);
+        }
+        if let Some(report) = self.check_tableau(original, candidate) {
+            return report;
+        }
+        if n <= MAX_UNITARY_QUBITS {
+            if let Ok(report) = self.check_dense(original, candidate) {
+                return report;
+            }
+        }
+        if n <= MAX_STIMULUS_QUBITS {
+            if let Ok(report) = self.check_stimulus(original, candidate) {
+                return report;
+            }
+        }
+        Report {
+            verdict: Verdict::Inconclusive { confidence: 0.0 },
+            tier: Tier::Structural,
+            trials: 0,
+        }
+    }
+
+    /// Forces the stabilizer-tableau tier. Returns `None` unless both
+    /// circuits compile to Clifford operations (H/S/CX plus the gates
+    /// expressible through them, including right-angle rotations).
+    pub fn check_tableau(&self, original: &Circuit, candidate: &Circuit) -> Option<Report> {
+        if original.num_qubits() != candidate.num_qubits() {
+            return None;
+        }
+        let ops_a = clifford::compile(original)?;
+        let ops_b_inv = clifford::compile(&candidate.inverse())?;
+        Some(tableau::check(original.num_qubits(), &ops_a, &ops_b_inv))
+    }
+
+    /// Forces the dense-unitary tier (the exhaustive ≤
+    /// [`MAX_UNITARY_QUBITS`]-qubit fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qsim::SimError::TooManyQubits`] past the dense cap.
+    pub fn check_dense(
+        &self,
+        original: &Circuit,
+        candidate: &Circuit,
+    ) -> Result<Report, qsim::SimError> {
+        if original.num_qubits() != candidate.num_qubits() {
+            return Ok(mismatch_report(original, candidate));
+        }
+        dense::check(original, candidate, self.eps)
+    }
+
+    /// Forces the randomized product-state stimulus tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qsim::SimError::TooManyQubits`] past the statevector
+    /// cap ([`MAX_STIMULUS_QUBITS`]).
+    pub fn check_stimulus(
+        &self,
+        original: &Circuit,
+        candidate: &Circuit,
+    ) -> Result<Report, qsim::SimError> {
+        if original.num_qubits() != candidate.num_qubits() {
+            return Ok(mismatch_report(original, candidate));
+        }
+        stimulus::check(
+            original,
+            candidate,
+            self.eps,
+            self.trials,
+            self.threads,
+            self.seed,
+        )
+    }
+}
+
+fn mismatch_report(a: &Circuit, b: &Circuit) -> Report {
+    Report {
+        verdict: Verdict::Inequivalent {
+            witness: Witness::RegisterMismatch {
+                left: a.num_qubits(),
+                right: b.num_qubits(),
+            },
+        },
+        tier: Tier::Structural,
+        trials: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_mismatch_is_structural() {
+        let report = Verifier::new().check_report(&Circuit::new(2), &Circuit::new(3));
+        assert_eq!(report.tier, Tier::Structural);
+        assert!(matches!(
+            report.verdict,
+            Verdict::Inequivalent {
+                witness: Witness::RegisterMismatch { left: 2, right: 3 }
+            }
+        ));
+    }
+
+    #[test]
+    fn classical_tier_selected_for_reversible_circuits() {
+        let mut a = Circuit::new(4);
+        a.x(0).ccx(0, 1, 2).cx(2, 3);
+        let report = Verifier::new().check_report(&a, &a.clone());
+        assert_eq!(report.tier, Tier::Classical);
+        assert!(report.verdict.is_equivalent());
+        assert_eq!(report.confidence(), 1.0);
+    }
+
+    #[test]
+    fn tableau_tier_selected_for_clifford_circuits() {
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).s(2).cz(1, 2);
+        let report = Verifier::new().check_report(&a, &a.clone());
+        assert_eq!(report.tier, Tier::Tableau);
+        assert!(report.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn dense_tier_selected_for_small_non_clifford() {
+        let mut a = Circuit::new(3);
+        a.h(0).t(1).ccx(0, 1, 2);
+        let report = Verifier::new().check_report(&a, &a.clone());
+        assert_eq!(report.tier, Tier::Dense);
+        assert!(report.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn stimulus_tier_selected_beyond_dense_cap() {
+        let n = MAX_UNITARY_QUBITS + 2;
+        let mut a = Circuit::new(n);
+        a.h(0).t(1).ccx(0, 1, 2).cx(2, n - 1);
+        let verifier = Verifier::new().with_trials(2);
+        let report = verifier.check_report(&a, &a.clone());
+        assert_eq!(report.tier, Tier::Stimulus);
+        assert!(report.verdict.is_equivalent());
+        assert!(report.confidence() > 0.7);
+    }
+
+    #[test]
+    fn oversized_register_is_inconclusive() {
+        let n = MAX_STIMULUS_QUBITS + 1;
+        let mut a = Circuit::new(n);
+        a.t(0); // non-Clifford, non-classical: no tier applies
+        let report = Verifier::new().check_report(&a, &a.clone());
+        assert!(matches!(
+            report.verdict,
+            Verdict::Inconclusive { confidence } if confidence == 0.0
+        ));
+    }
+
+    #[test]
+    fn verdict_display_is_informative() {
+        let v = Verdict::Inequivalent {
+            witness: Witness::Stimulus {
+                trial: 3,
+                seed: 0xAB,
+                fidelity: 0.25,
+            },
+        };
+        let text = v.to_string();
+        assert!(text.contains("NOT equivalent"));
+        assert!(text.contains("trial 3"));
+        assert!(Verdict::Equivalent.to_string().contains("equivalent"));
+        assert!(Tier::Tableau.to_string().contains("tableau"));
+    }
+
+    #[test]
+    fn zero_trials_is_inconclusive() {
+        let n = MAX_UNITARY_QUBITS + 1;
+        let mut a = Circuit::new(n);
+        a.t(0);
+        let report = Verifier::new().with_trials(0).check_report(&a, &a.clone());
+        assert_eq!(report.tier, Tier::Stimulus);
+        assert!(matches!(report.verdict, Verdict::Inconclusive { .. }));
+    }
+
+    #[test]
+    fn dense_cap_reexported_for_tier_selection() {
+        // The dense tier's reach is exactly qsim's documented cap, and
+        // the classical tier extends beyond it.
+        assert_eq!(MAX_UNITARY_QUBITS, qsim::unitary::MAX_UNITARY_QUBITS);
+        const _: () = assert!(CLASSICAL_EXHAUSTIVE_MAX_QUBITS > MAX_UNITARY_QUBITS);
+    }
+}

@@ -1,0 +1,70 @@
+//! Benchmark-crate error types.
+
+use std::fmt;
+
+/// Errors raised by the classical evaluator and benchmark constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RevlibError {
+    /// [`crate::classical_eval`] met a gate outside the classical
+    /// reversible subset (H, rotations, …).
+    NonClassicalGate {
+        /// Display name of the offending gate.
+        gate: String,
+        /// Instruction index within the circuit.
+        index: usize,
+    },
+    /// A counter-style weight benchmark was requested for a shape that
+    /// has no registered reference permutation.
+    UnregisteredReference {
+        /// Requested input-bit count.
+        inputs: u32,
+        /// Requested counter width.
+        counter_bits: u32,
+    },
+}
+
+impl fmt::Display for RevlibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevlibError::NonClassicalGate { gate, index } => write!(
+                f,
+                "classical evaluation cannot handle gate {gate} at instruction {index}"
+            ),
+            RevlibError::UnregisteredReference {
+                inputs,
+                counter_bits,
+            } => write!(
+                f,
+                "no reference permutation registered for rd({inputs},{counter_bits})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RevlibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = RevlibError::NonClassicalGate {
+            gate: "h".into(),
+            index: 4,
+        };
+        assert!(e.to_string().contains('h'));
+        assert!(e.to_string().contains('4'));
+        let e = RevlibError::UnregisteredReference {
+            inputs: 9,
+            counter_bits: 4,
+        };
+        assert!(e.to_string().contains("rd(9,4)"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RevlibError>();
+    }
+}

@@ -33,6 +33,7 @@
 pub mod adder;
 pub mod alu;
 pub mod comparators;
+pub mod error;
 pub mod grover;
 pub mod linear;
 pub mod modular;
@@ -42,6 +43,7 @@ pub mod weight;
 pub use adder::{adder_1bit, adder_2bit};
 pub use alu::mini_alu;
 pub use comparators::{comparator_4gt11, comparator_4gt13, comparator_4gt5};
+pub use error::RevlibError;
 pub use grover::grover;
 pub use linear::{graycode6, majority5, parity9};
 pub use modular::{mod5_4, mod_mixer};

@@ -7,6 +7,7 @@
 //! reference on **every** input, which is the strongest possible
 //! functional validation.
 
+use crate::error::RevlibError;
 use qcir::{Circuit, Gate};
 
 /// Reference permutation: maps an input basis index to the output basis
@@ -77,9 +78,11 @@ impl Benchmark {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit contains non-classical gates.
+    /// Panics if the circuit contains non-classical gates — impossible
+    /// for the benchmarks constructed by this crate; use
+    /// [`classical_eval`] directly for arbitrary circuits.
     pub fn eval_circuit(&self, input: usize) -> usize {
-        classical_eval(&self.circuit, input)
+        classical_eval(&self.circuit, input).expect("benchmark circuits are classical")
     }
 
     /// The output the paper's "accuracy" metric counts as correct: the
@@ -101,9 +104,10 @@ impl Benchmark {
 ///
 /// Supports the classical gate subset (I/X/CX/CCX/MCX/SWAP/CSWAP).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the circuit contains a non-classical gate (H, rotations, …).
+/// Returns [`RevlibError::NonClassicalGate`] if the circuit contains a
+/// gate outside that subset (H, rotations, …).
 ///
 /// # Example
 ///
@@ -113,11 +117,12 @@ impl Benchmark {
 ///
 /// let mut c = Circuit::new(2);
 /// c.x(0).cx(0, 1);
-/// assert_eq!(classical_eval(&c, 0b00), 0b11);
+/// assert_eq!(classical_eval(&c, 0b00)?, 0b11);
+/// # Ok::<(), revlib::RevlibError>(())
 /// ```
-pub fn classical_eval(circuit: &Circuit, input: usize) -> usize {
+pub fn classical_eval(circuit: &Circuit, input: usize) -> Result<usize, RevlibError> {
     let mut state = input;
-    for inst in circuit.iter() {
+    for (index, inst) in circuit.iter().enumerate() {
         let qs = inst.qubits();
         match inst.gate() {
             Gate::I => {}
@@ -154,10 +159,15 @@ pub fn classical_eval(circuit: &Circuit, input: usize) -> usize {
                     }
                 }
             }
-            other => panic!("classical_eval cannot evaluate gate {other}"),
+            other => {
+                return Err(RevlibError::NonClassicalGate {
+                    gate: other.to_string(),
+                    index,
+                })
+            }
         }
     }
-    state
+    Ok(state)
 }
 
 /// A tiny 3-qubit double-Toffoli benchmark used in doctests and smoke
@@ -190,32 +200,37 @@ mod tests {
             .mcx(&[0, 1, 2], 3) // 1111
             .swap(0, 3) // 1111 (both set)
             .cswap(0, 1, 2); // no-op content-wise (both set)
-        assert_eq!(classical_eval(&c, 0), 0b1111);
+        assert_eq!(classical_eval(&c, 0).unwrap(), 0b1111);
     }
 
     #[test]
     fn swap_moves_single_bit() {
         let mut c = Circuit::new(2);
         c.swap(0, 1);
-        assert_eq!(classical_eval(&c, 0b01), 0b10);
-        assert_eq!(classical_eval(&c, 0b10), 0b01);
-        assert_eq!(classical_eval(&c, 0b11), 0b11);
+        assert_eq!(classical_eval(&c, 0b01).unwrap(), 0b10);
+        assert_eq!(classical_eval(&c, 0b10).unwrap(), 0b01);
+        assert_eq!(classical_eval(&c, 0b11).unwrap(), 0b11);
     }
 
     #[test]
     fn cswap_needs_control() {
         let mut c = Circuit::new(3);
         c.cswap(2, 0, 1);
-        assert_eq!(classical_eval(&c, 0b001), 0b001); // control clear
-        assert_eq!(classical_eval(&c, 0b101), 0b110); // control set
+        assert_eq!(classical_eval(&c, 0b001).unwrap(), 0b001); // control clear
+        assert_eq!(classical_eval(&c, 0b101).unwrap(), 0b110); // control set
     }
 
     #[test]
-    #[should_panic(expected = "cannot evaluate")]
-    fn rejects_quantum_gates() {
-        let mut c = Circuit::new(1);
-        c.h(0);
-        classical_eval(&c, 0);
+    fn rejects_quantum_gates_with_typed_error() {
+        let mut c = Circuit::new(2);
+        c.x(0).h(1);
+        assert_eq!(
+            classical_eval(&c, 0),
+            Err(RevlibError::NonClassicalGate {
+                gate: "h".into(),
+                index: 1,
+            })
+        );
     }
 
     #[test]

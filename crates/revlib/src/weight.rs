@@ -9,6 +9,7 @@
 //! * `rd73`/`rd84` — *counter* style: one controlled increment of a binary
 //!   counter per input bit.
 
+use crate::error::RevlibError;
 use crate::spec::Benchmark;
 use qcir::Circuit;
 
@@ -67,12 +68,18 @@ pub fn rd53() -> Benchmark {
 /// Builds a counter-style `rd` benchmark: `inputs` input bits on
 /// `q0..inputs-1`, a `counter_bits`-wide binary counter on the top wires,
 /// one controlled increment per input.
-fn counter_rd(
+///
+/// # Errors
+///
+/// Returns [`RevlibError::UnregisteredReference`] for shapes without a
+/// registered reference permutation (registered shapes: `rd43`,
+/// `rd73`, `rd84`).
+pub fn counter_benchmark(
     name: &'static str,
     description: &'static str,
     inputs: u32,
     counter_bits: u32,
-) -> Benchmark {
+) -> Result<Benchmark, RevlibError> {
     let n = inputs + counter_bits;
     let mut c = Circuit::with_name(n, name);
     for x in 0..inputs {
@@ -87,13 +94,25 @@ fn counter_rd(
     c_with_reference(name, description, c, inputs, counter_bits)
 }
 
+/// Shorthand for the registered shapes used by this crate's named
+/// constructors; the registration invariant makes the `expect` safe.
+fn counter_rd(
+    name: &'static str,
+    description: &'static str,
+    inputs: u32,
+    counter_bits: u32,
+) -> Benchmark {
+    counter_benchmark(name, description, inputs, counter_bits)
+        .expect("named rd constructors use registered shapes")
+}
+
 fn c_with_reference(
     name: &'static str,
     description: &'static str,
     circuit: Circuit,
     inputs: u32,
     counter_bits: u32,
-) -> Benchmark {
+) -> Result<Benchmark, RevlibError> {
     // The reference must be a `fn`, so dispatch on (inputs, counter_bits)
     // through dedicated monomorphic functions.
     fn reference_impl(s: usize, inputs: u32, counter_bits: u32) -> usize {
@@ -108,9 +127,14 @@ fn c_with_reference(
         (7, 3) => |s| reference_impl(s, 7, 3),
         (8, 4) => |s| reference_impl(s, 8, 4),
         (4, 3) => |s| reference_impl(s, 4, 3),
-        _ => panic!("no reference registered for rd({inputs},{counter_bits})"),
+        _ => {
+            return Err(RevlibError::UnregisteredReference {
+                inputs,
+                counter_bits,
+            })
+        }
     };
-    Benchmark::new(name, description, circuit, reference)
+    Ok(Benchmark::new(name, description, circuit, reference))
 }
 
 /// `rd73`: weight of 7 inputs into a 3-bit counter on `q7..q9`
@@ -202,6 +226,17 @@ mod tests {
         let b = rd84();
         let out = b.eval_circuit(0xFF);
         assert_eq!(out >> 8, 8, "count of 8 ones");
+    }
+
+    #[test]
+    fn unregistered_shape_yields_typed_error() {
+        assert_eq!(
+            counter_benchmark("rd94", "unregistered", 9, 4).unwrap_err(),
+            RevlibError::UnregisteredReference {
+                inputs: 9,
+                counter_bits: 4,
+            }
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .all(|p| split.assignment[p.inverse_index] < split.assignment[p.forward_index]);
         let restored = split.recombine()?;
         let exact = (0..1usize << circuit.num_qubits())
-            .all(|x| classical_eval(&restored, x) == bench.eval(x));
+            .all(|x| classical_eval(&restored, x).expect("classical") == bench.eval(x));
         println!(
             "k={k}: segments [{}]  pairs separated: {separated}  restoration exact: {exact}",
             widths.join(", ")

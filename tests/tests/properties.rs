@@ -54,8 +54,8 @@ proptest! {
         let n = circuit.num_qubits();
         for input in 0..1usize << n {
             prop_assert_eq!(
-                classical_eval(obf.obfuscated(), input),
-                classical_eval(&circuit, input),
+                classical_eval(obf.obfuscated(), input).unwrap(),
+                classical_eval(&circuit, input).unwrap(),
                 "diverged at input {}", input
             );
         }
@@ -73,8 +73,8 @@ proptest! {
         let n = circuit.num_qubits();
         for input in 0..1usize << n {
             prop_assert_eq!(
-                classical_eval(&restored, input),
-                classical_eval(&circuit, input),
+                classical_eval(&restored, input).unwrap(),
+                classical_eval(&circuit, input).unwrap(),
                 "diverged at input {}", input
             );
         }
@@ -113,7 +113,7 @@ proptest! {
         let composed = circuit.then(&circuit.inverse()).unwrap();
         let n = circuit.num_qubits();
         for input in 0..1usize << n {
-            prop_assert_eq!(classical_eval(&composed, input), input);
+            prop_assert_eq!(classical_eval(&composed, input).unwrap(), input);
         }
     }
 
@@ -136,7 +136,7 @@ proptest! {
         let n = circuit.num_qubits();
         let mut seen = vec![false; 1 << n];
         for input in 0..1usize << n {
-            let out = classical_eval(&circuit, input);
+            let out = classical_eval(&circuit, input).unwrap();
             prop_assert!(!seen[out], "not injective at {}", input);
             seen[out] = true;
         }
@@ -152,7 +152,7 @@ proptest! {
         let input = input & ((1 << n) - 1);
         let mut sv = Statevector::basis(n, input).unwrap();
         sv.apply_circuit(&circuit).unwrap();
-        let expected = classical_eval(&circuit, input);
+        let expected = classical_eval(&circuit, input).unwrap();
         prop_assert!((sv.probability(expected) - 1.0).abs() < 1e-9);
     }
 }

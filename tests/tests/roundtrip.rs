@@ -19,7 +19,7 @@ fn obfuscation_preserves_every_benchmark_exhaustively() {
             let n = c.num_qubits();
             for input in 0..1usize << n {
                 assert_eq!(
-                    classical_eval(obf.obfuscated(), input),
+                    classical_eval(obf.obfuscated(), input).unwrap(),
                     bench.eval(input),
                     "{} seed {seed} input {input}: obfuscation broke the function",
                     bench.name()
@@ -40,7 +40,7 @@ fn split_and_recombine_restores_every_benchmark() {
             let n = c.num_qubits();
             for input in 0..1usize << n {
                 assert_eq!(
-                    classical_eval(&restored, input),
+                    classical_eval(&restored, input).unwrap(),
                     bench.eval(input),
                     "{} seed {seed} input {input}: recombination diverged",
                     bench.name()
@@ -112,7 +112,7 @@ fn masking_corrupts_output_for_most_insertions() {
             }
             inserted_any += 1;
             let masked = obf.masked_circuit();
-            if classical_eval(&masked, 0) != bench.eval(0) {
+            if classical_eval(&masked, 0).unwrap() != bench.eval(0) {
                 corrupted += 1;
             }
         }
@@ -140,7 +140,7 @@ fn multiway_splits_restore_every_benchmark() {
             let step = if n > 8 { 13 } else { 1 };
             for input in (0..1usize << n).step_by(step) {
                 assert_eq!(
-                    classical_eval(&restored, input),
+                    classical_eval(&restored, input).unwrap(),
                     bench.eval(input),
                     "{} k={k} input {input}",
                     bench.name()
