@@ -51,6 +51,40 @@ fn bench_tiers_on_revlib(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ZX tier on Clifford+T round-trip pairs past the statevector
+/// cap — the regime where it is the *only* exact decision procedure —
+/// plus the stall cost on a corrupted candidate (the price of falling
+/// through to a lower tier).
+fn bench_zx_clifford_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qverify_zx");
+    group.sample_size(10);
+    let verifier = Verifier::new();
+    for n in [20u32, 30, 40] {
+        let mut a = Circuit::new(n);
+        for q in 0..n - 1 {
+            a.h(q).t(q).cx(q, q + 1);
+        }
+        let pair = roundtrip_pair(&a);
+        group.bench_with_input(BenchmarkId::new("certify", n), &pair, |b, (orig, rest)| {
+            b.iter(|| {
+                verifier
+                    .check_zx(orig, rest)
+                    .expect("round-trip miter reduces")
+            });
+        });
+        let mut corrupted = pair.1.clone();
+        corrupted.t(0);
+        group.bench_with_input(
+            BenchmarkId::new("stall", n),
+            &(pair.0.clone(), corrupted),
+            |b, (orig, bad)| {
+                b.iter(|| assert!(verifier.check_zx(orig, bad).is_none()));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_tableau_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("qverify_tableau");
     let verifier = Verifier::new();
@@ -76,5 +110,10 @@ fn bench_tableau_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tiers_on_revlib, bench_tableau_scaling);
+criterion_group!(
+    benches,
+    bench_tiers_on_revlib,
+    bench_zx_clifford_t,
+    bench_tableau_scaling
+);
 criterion_main!(benches);

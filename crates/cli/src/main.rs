@@ -44,7 +44,11 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("verify") => verify(&rest(args)),
         Some("compile") => compile(&rest(args)),
         Some("help") | None => {
-            print!("{USAGE}");
+            if it.next().map(String::as_str) == Some("verify") {
+                print!("{VERIFY_HELP}");
+            } else {
+                print!("{USAGE}");
+            }
             Ok(())
         }
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -61,7 +65,8 @@ commands:
             [--segments K --out-prefix P]   (k-way split: writes P0.qasm…)
   recombine <seg> <seg> [<seg>…] --meta F --out F [--verify <original>]
   verify    <a> <b> [--trials N] [--seed N]        tiered equivalence check
-            (classical / tableau / dense-unitary / random stimulus)
+            (classical / tableau / zx-calculus / dense-unitary / stimulus;
+             `verify --help` explains tier selection)
   compile   <circuit> --out F [--device valencia|ideal|linear:<n>]
   help
 
@@ -301,7 +306,51 @@ fn recombine_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const VERIFY_HELP: &str = "\
+tetrislock verify <a> <b> [--trials N] [--seed N]
+
+Decides whether two circuits implement the same unitary (up to global
+phase). If the registers differ, the smaller circuit is padded with
+identity wires onto the larger register.
+
+Tier selection — the cheapest applicable decision procedure wins:
+
+  classical      both circuits classical reversible (X/CX/CCX/MCX/SWAP/
+                 CSWAP) and <= 16 qubits. Exact: every basis input is
+                 enumerated.
+  tableau        both circuits Clifford (H/S/CX and gates reducible to
+                 them, incl. right-angle rotations). Exact at hundreds
+                 of qubits via stabilizer conjugation of the miter.
+  zx-calculus    any gate set, any register size. The miter C2^dag*C1 is
+                 reduced by ZX graph rewriting; full reduction to bare
+                 wires is an exact equivalence proof. One-sided: a
+                 stalled reduction proves nothing and falls through —
+                 this tier never reports inequivalence.
+  dense-unitary  <= 12 qubits. Exact full-unitary comparison; produces
+                 a concrete witness (basis column or relative phase) on
+                 failure.
+  stimulus       <= 26 qubits. Statistical: the miter runs on --trials
+                 random product states (default 16), in parallel. A
+                 failed trial is a concrete, reproducible witness; a
+                 clean pass certifies equivalence with confidence
+                 1 - 2^(-trials), not proof.
+
+Options:
+  --trials N   stimulus trials to run when that tier decides
+               (default 16; 0 makes the stimulus tier inconclusive)
+  --seed N     base seed for the stimulus preparation layers
+               (default 1). Same seed => same trials => same verdict;
+               the seed printed in a witness rebuilds its input state.
+
+Output: the verdict, the deciding tier, and on failure a witness.
+Exit status: 0 iff equivalent, 1 otherwise (including inconclusive).
+";
+
 fn verify(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{VERIFY_HELP}");
+        return Ok(());
+    }
     let (paths, options) = parse(args)?;
     if paths.len() < 2 {
         return Err("verify expects two circuit files".into());
@@ -437,6 +486,21 @@ mod tests {
     #[test]
     fn unknown_command_rejected() {
         assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn verify_help_documents_tiers_and_flags() {
+        // Both `verify --help` and `help verify` print the long help
+        // (and must not try to read circuit files).
+        assert!(run(&s(&["verify", "--help"])).is_ok());
+        assert!(run(&s(&["verify", "-h"])).is_ok());
+        assert!(run(&s(&["help", "verify"])).is_ok());
+        for needle in ["zx-calculus", "--trials", "--seed", "stimulus"] {
+            assert!(
+                VERIFY_HELP.contains(needle),
+                "verify help must document {needle}"
+            );
+        }
     }
 
     #[test]

@@ -13,16 +13,23 @@
 //! |---|---|---|---|
 //! | [`Tier::Classical`] | both circuits are classical reversible, ≤ [`CLASSICAL_EXHAUSTIVE_MAX_QUBITS`] qubits | `O(2ⁿ·gates)` bit ops | exact (exhaustive) |
 //! | [`Tier::Tableau`] | both circuits are Clifford | `O(n·gates)` words | exact (stabilizer) |
+//! | [`Tier::Zx`] | the miter diagram reduces to the identity | `O(gates²)` graph rewriting | exact, one-sided (never `Inequivalent`) |
 //! | [`Tier::Dense`] | ≤ [`MAX_UNITARY_QUBITS`] qubits | `O(4ⁿ·gates)` | exact (full unitary) |
 //! | [`Tier::Stimulus`] | ≤ [`MAX_STIMULUS_QUBITS`] qubits | `O(trials·2ⁿ·gates)`, parallel | statistical (miter) |
 //!
 //! The **tableau** tier is an Aaronson–Gottesman stabilizer engine: it
 //! conjugates the `2n` Pauli generators through `C₂†C₁` in `O(n)` per
 //! gate and accepts iff every generator returns to itself with positive
-//! sign — exact for Clifford circuits at hundreds of qubits. The
-//! **stimulus** tier builds the same miter `C₂†C₁` but runs it on
-//! randomized product-state inputs (seeded, reproducible) in parallel
-//! batches across threads; any input that fails to return to itself is a
+//! sign — exact for Clifford circuits at hundreds of qubits. The **ZX**
+//! tier translates the miter `C₂†C₁` into a spider graph and rewrites it
+//! with spider fusion, identity removal, Hadamard-edge cancellation,
+//! local complementation and pivoting; full reduction to bare wires is
+//! an exact proof of equivalence with no dense state and no qubit cap,
+//! which is what certifies Clifford+T round-trips past every simulation
+//! tier. A stalled reduction proves nothing and falls through. The
+//! **stimulus** tier builds the same miter but runs it on randomized
+//! product-state inputs (seeded, reproducible) in parallel batches
+//! across threads; any input that fails to return to itself is a
 //! concrete counterexample [`Witness::Stimulus`].
 //!
 //! # Example
@@ -46,13 +53,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod classical;
 mod clifford;
 mod dense;
 mod stimulus;
 mod tableau;
+mod zx;
+
+pub use zx::MAX_MCX_CONTROLS;
 
 use qcir::Circuit;
 use std::fmt;
@@ -75,6 +85,9 @@ pub enum Tier {
     Classical,
     /// Aaronson–Gottesman stabilizer tableau.
     Tableau,
+    /// ZX-calculus miter reduction: exact, no qubit cap, one-sided
+    /// (only ever produces [`Verdict::Equivalent`]).
+    Zx,
     /// Dense full-unitary extraction (the ≤ [`MAX_UNITARY_QUBITS`]-qubit
     /// fallback).
     Dense,
@@ -88,6 +101,7 @@ impl fmt::Display for Tier {
             Tier::Structural => "structural",
             Tier::Classical => "classical",
             Tier::Tableau => "tableau",
+            Tier::Zx => "zx-calculus",
             Tier::Dense => "dense-unitary",
             Tier::Stimulus => "stimulus",
         })
@@ -344,6 +358,44 @@ impl Verifier {
 
     /// Decides whether `original` and `candidate` implement the same
     /// unitary up to global phase, via the cheapest applicable tier.
+    ///
+    /// # Examples
+    ///
+    /// Small circuits are decided exactly; the tier is an internal
+    /// detail unless you ask for it with [`Verifier::check_report`]:
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// use qverify::{Verdict, Verifier};
+    ///
+    /// let mut bell = Circuit::new(2);
+    /// bell.h(0).cx(0, 1);
+    /// let mut alt = Circuit::new(2);
+    /// alt.h(0).cx(0, 1).z(0).z(0); // extra canceling pair
+    /// let verifier = Verifier::new();
+    /// assert!(verifier.check(&bell, &alt).is_equivalent());
+    /// ```
+    ///
+    /// A 30-qubit Clifford+T pair is past the statevector cap, but the
+    /// ZX tier still certifies it exactly — and a corrupted candidate
+    /// is rejected with a concrete witness from a lower tier:
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// use qverify::{Tier, Verdict, Verifier};
+    ///
+    /// let mut a = Circuit::new(30);
+    /// for q in 0..29 {
+    ///     a.h(q).t(q).cx(q, q + 1);
+    /// }
+    /// let mut b = a.clone();
+    /// b.s(7).sdg(7); // syntactic noise, same unitary
+    /// let verifier = Verifier::new();
+    /// let report = verifier.check_report(&a, &b);
+    /// assert_eq!(report.tier, Tier::Zx);
+    /// assert!(report.verdict.is_equivalent());
+    /// assert_eq!(report.confidence(), 1.0);
+    /// ```
     pub fn check(&self, original: &Circuit, candidate: &Circuit) -> Verdict {
         self.check_report(original, candidate).verdict
     }
@@ -374,6 +426,9 @@ impl Verifier {
         if let Some(report) = self.check_tableau(original, candidate) {
             return report;
         }
+        if let Some(report) = self.check_zx(original, candidate) {
+            return report;
+        }
         if n <= MAX_UNITARY_QUBITS {
             if let Ok(report) = self.check_dense(original, candidate) {
                 return report;
@@ -401,6 +456,22 @@ impl Verifier {
         let ops_a = clifford::compile(original)?;
         let ops_b_inv = clifford::compile(&candidate.inverse())?;
         Some(tableau::check(original.num_qubits(), &ops_a, &ops_b_inv))
+    }
+
+    /// Forces the ZX-calculus graph-rewriting tier.
+    ///
+    /// Builds the miter `C₂†C₁` as a ZX spider graph and rewrites it
+    /// (spider fusion, identity removal, Hadamard-edge cancellation,
+    /// local complementation, pivoting) toward the bare-wire identity.
+    /// Returns `Some` — always [`Verdict::Equivalent`], with tier
+    /// [`Tier::Zx`] — iff the diagram fully reduces, which is an exact
+    /// proof with no qubit cap. Returns `None` when the registers
+    /// mismatch, a gate does not translate (an [`qcir::Gate::Mcx`] with
+    /// more than [`MAX_MCX_CONTROLS`] controls), or rewriting stalls;
+    /// a stall carries **no** evidence of inequivalence, so this tier
+    /// can never report a false `Inequivalent` — it reports none at all.
+    pub fn check_zx(&self, original: &Circuit, candidate: &Circuit) -> Option<Report> {
+        zx::check(original, candidate)
     }
 
     /// Forces the dense-unitary tier (the exhaustive ≤
@@ -462,6 +533,19 @@ fn mismatch_report(a: &Circuit, b: &Circuit) -> Report {
 mod tests {
     use super::*;
 
+    /// An *inequivalent* pair (`T` vs `T†`) on which the ZX tier must
+    /// stall — its miter is a lone non-Clifford wire spider no rule
+    /// touches, and ZX has no `Inequivalent` verdict anyway — so tier
+    /// selection falls through to the simulation tiers. Non-classical
+    /// and non-Clifford by construction.
+    fn zx_stalling_pair(n: u32) -> (Circuit, Circuit) {
+        let mut a = Circuit::new(n);
+        a.t(0);
+        let mut b = Circuit::new(n);
+        b.tdg(0);
+        (a, b)
+    }
+
     #[test]
     fn register_mismatch_is_structural() {
         let report = Verifier::new().check_report(&Circuit::new(2), &Circuit::new(3));
@@ -494,32 +578,65 @@ mod tests {
     }
 
     #[test]
-    fn dense_tier_selected_for_small_non_clifford() {
+    fn zx_tier_selected_for_non_clifford_identity_pair() {
+        // Non-Clifford (T, CCX) and syntactically different: tableau
+        // refuses, ZX reduces the miter and decides before dense.
         let mut a = Circuit::new(3);
         a.h(0).t(1).ccx(0, 1, 2);
-        let report = Verifier::new().check_report(&a, &a.clone());
-        assert_eq!(report.tier, Tier::Dense);
+        let mut b = a.clone();
+        b.s(2).sdg(2);
+        let report = Verifier::new().check_report(&a, &b);
+        assert_eq!(report.tier, Tier::Zx);
         assert!(report.verdict.is_equivalent());
+        assert_eq!(report.confidence(), 1.0);
+    }
+
+    #[test]
+    fn zx_tier_reaches_past_every_simulation_cap() {
+        let n = MAX_STIMULUS_QUBITS + 14; // 40 qubits
+        let mut a = Circuit::new(n);
+        for q in 0..n - 1 {
+            a.h(q).t(q).cx(q, q + 1);
+        }
+        let report = Verifier::new().check_report(&a, &a.clone());
+        assert_eq!(report.tier, Tier::Zx);
+        assert!(report.verdict.is_equivalent());
+    }
+
+    #[test]
+    fn dense_tier_selected_for_small_non_clifford() {
+        // ZX stalls on this pair, so the dense tier decides it — with
+        // a concrete witness ZX could never produce.
+        let (a, b) = zx_stalling_pair(3);
+        let report = Verifier::new().check_report(&a, &b);
+        assert_eq!(report.tier, Tier::Dense);
+        assert!(report.verdict.is_inequivalent());
     }
 
     #[test]
     fn stimulus_tier_selected_beyond_dense_cap() {
         let n = MAX_UNITARY_QUBITS + 2;
-        let mut a = Circuit::new(n);
-        a.h(0).t(1).ccx(0, 1, 2).cx(2, n - 1);
-        let verifier = Verifier::new().with_trials(2);
-        let report = verifier.check_report(&a, &a.clone());
+        let (a, b) = zx_stalling_pair(n);
+        let verifier = Verifier::new().with_trials(4);
+        let report = verifier.check_report(&a, &b);
         assert_eq!(report.tier, Tier::Stimulus);
-        assert!(report.verdict.is_equivalent());
-        assert!(report.confidence() > 0.7);
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Inequivalent {
+                    witness: Witness::Stimulus { .. }
+                }
+            ),
+            "{report}"
+        );
     }
 
     #[test]
     fn oversized_register_is_inconclusive() {
-        let n = MAX_STIMULUS_QUBITS + 1;
-        let mut a = Circuit::new(n);
-        a.t(0); // non-Clifford, non-classical: no tier applies
-        let report = Verifier::new().check_report(&a, &a.clone());
+        // Past the statevector cap AND stalling the ZX tier: nothing
+        // can decide, and the verifier must say so rather than guess.
+        let (a, b) = zx_stalling_pair(MAX_STIMULUS_QUBITS + 1);
+        let report = Verifier::new().check_report(&a, &b);
         assert!(matches!(
             report.verdict,
             Verdict::Inconclusive { confidence } if confidence == 0.0
@@ -540,16 +657,31 @@ mod tests {
         assert!(text.contains("trial 3"));
         assert!(Verdict::Equivalent.to_string().contains("equivalent"));
         assert!(Tier::Tableau.to_string().contains("tableau"));
+        assert!(Tier::Zx.to_string().contains("zx"));
     }
 
     #[test]
     fn zero_trials_is_inconclusive() {
-        let n = MAX_UNITARY_QUBITS + 1;
-        let mut a = Circuit::new(n);
-        a.t(0);
-        let report = Verifier::new().with_trials(0).check_report(&a, &a.clone());
+        let (a, b) = zx_stalling_pair(MAX_UNITARY_QUBITS + 1);
+        let report = Verifier::new().with_trials(0).check_report(&a, &b);
         assert_eq!(report.tier, Tier::Stimulus);
         assert!(matches!(report.verdict, Verdict::Inconclusive { .. }));
+    }
+
+    #[test]
+    fn zx_tier_never_reports_inequivalent() {
+        // A genuinely different pair: check_zx must return None (stall),
+        // and the full dispatch must produce the witness from a lower
+        // tier, never from Tier::Zx.
+        let mut a = Circuit::new(2);
+        a.t(0);
+        let mut b = Circuit::new(2);
+        b.t(1);
+        let verifier = Verifier::new();
+        assert!(verifier.check_zx(&a, &b).is_none());
+        let report = verifier.check_report(&a, &b);
+        assert!(report.verdict.is_inequivalent());
+        assert_ne!(report.tier, Tier::Zx);
     }
 
     #[test]

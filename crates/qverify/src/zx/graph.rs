@@ -1,0 +1,444 @@
+//! The spider-graph representation underlying the ZX tier.
+//!
+//! A [`Diagram`] is an open graph: `Boundary` vertices mark the circuit's
+//! inputs and outputs, interior vertices are phase-carrying Z or X
+//! spiders, and every edge is either a plain wire or a Hadamard edge.
+//! The representation is a *simple* graph — at most one edge per vertex
+//! pair — because every situation that would create a parallel edge or a
+//! self-loop resolves immediately through a sound local rule:
+//!
+//! * a plain self-loop on a Z spider disappears;
+//! * a Hadamard self-loop on a Z spider disappears and adds π to its
+//!   phase;
+//! * two parallel Hadamard edges between Z spiders cancel (the Hopf
+//!   law — this is the "Hadamard-edge cancellation" rewrite);
+//! * a plain edge in parallel with anything marks the pair for fusion,
+//!   folding a parallel Hadamard edge into a π phase on the merged
+//!   spider.
+//!
+//! All rules hold up to a non-zero scalar factor, which is exactly the
+//! "equal up to global phase" equivalence the verifier decides.
+
+use std::collections::BTreeMap;
+use std::f64::consts::{PI, TAU};
+
+/// Tolerance for phase comparisons (radians). Matches the order of the
+/// Clifford-recognition tolerance in [`crate::clifford`].
+pub(crate) const PHASE_EPS: f64 = 1e-9;
+
+/// Normalizes an angle into `[0, 2π)`, snapping values within
+/// [`PHASE_EPS`] of a full turn to exactly `0.0`.
+pub(crate) fn pnorm(angle: f64) -> f64 {
+    let t = angle.rem_euclid(TAU);
+    if (PHASE_EPS..=TAU - PHASE_EPS).contains(&t) {
+        t
+    } else {
+        0.0
+    }
+}
+
+/// `true` if the normalized phase is 0 (mod 2π).
+pub(crate) fn phase_is_zero(p: f64) -> bool {
+    p.abs() < PHASE_EPS
+}
+
+/// `true` if the normalized phase is π.
+pub(crate) fn phase_is_pi(p: f64) -> bool {
+    (p - PI).abs() < PHASE_EPS
+}
+
+/// `true` if the normalized phase is 0 or π (a Pauli spider).
+pub(crate) fn phase_is_pauli(p: f64) -> bool {
+    phase_is_zero(p) || phase_is_pi(p)
+}
+
+/// `Some(±1)` if the normalized phase is ±π/2 (a proper Clifford
+/// spider), `None` otherwise.
+pub(crate) fn phase_half_turn_sign(p: f64) -> Option<f64> {
+    if (p - PI / 2.0).abs() < PHASE_EPS {
+        Some(1.0)
+    } else if (p - 3.0 * PI / 2.0).abs() < PHASE_EPS {
+        Some(-1.0)
+    } else {
+        None
+    }
+}
+
+/// Vertex kind: an open wire end, or a phase-carrying spider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VKind {
+    /// Circuit input/output marker (degree 1, no phase).
+    Boundary,
+    /// Z (green) spider.
+    Z,
+    /// X (red) spider. Translation produces these; the rewrite engine's
+    /// first pass recolors them all to Z spiders.
+    X,
+}
+
+/// Edge kind: a plain wire or a Hadamard edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EdgeKind {
+    /// Plain wire.
+    Plain,
+    /// Wire with a Hadamard box on it.
+    Had,
+}
+
+impl EdgeKind {
+    /// The other kind (composing with one Hadamard).
+    pub(crate) fn toggled(self) -> EdgeKind {
+        match self {
+            EdgeKind::Plain => EdgeKind::Had,
+            EdgeKind::Had => EdgeKind::Plain,
+        }
+    }
+
+    /// Kind of the single edge replacing two edges in series (through a
+    /// removed identity spider): Hadamards compose mod 2.
+    pub(crate) fn through(self, other: EdgeKind) -> EdgeKind {
+        if self == other {
+            EdgeKind::Plain
+        } else {
+            EdgeKind::Had
+        }
+    }
+}
+
+/// An open ZX diagram over a fixed set of circuit wires.
+#[derive(Debug, Clone)]
+pub(crate) struct Diagram {
+    kind: Vec<VKind>,
+    phase: Vec<f64>,
+    adj: Vec<BTreeMap<usize, EdgeKind>>,
+    alive: Vec<bool>,
+    inputs: Vec<usize>,
+    outputs: Vec<usize>,
+    /// Set when a rewrite would have to delete a zero scalar (a
+    /// degree-0 π spider). Cannot arise from a unitary diagram, but if
+    /// it ever does the engine must stall rather than decide.
+    zero_scalar: bool,
+}
+
+impl Diagram {
+    /// Creates a diagram of `n` bare wires: input `i` is vertex `i`,
+    /// output `i` is vertex `n + i`, initially unconnected.
+    pub(crate) fn new(n: usize) -> Self {
+        let mut d = Diagram {
+            kind: Vec::with_capacity(2 * n),
+            phase: Vec::with_capacity(2 * n),
+            adj: Vec::with_capacity(2 * n),
+            alive: Vec::with_capacity(2 * n),
+            inputs: Vec::with_capacity(n),
+            outputs: Vec::with_capacity(n),
+            zero_scalar: false,
+        };
+        for _ in 0..n {
+            let v = d.add_vertex(VKind::Boundary, 0.0);
+            d.inputs.push(v);
+        }
+        for _ in 0..n {
+            let v = d.add_vertex(VKind::Boundary, 0.0);
+            d.outputs.push(v);
+        }
+        d
+    }
+
+    /// Number of vertex slots ever allocated (including dead ones).
+    pub(crate) fn slots(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Number of live vertices.
+    pub(crate) fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of live interior spiders (non-boundary vertices).
+    pub(crate) fn spider_count(&self) -> usize {
+        (0..self.slots())
+            .filter(|&v| self.alive[v] && self.kind[v] != VKind::Boundary)
+            .count()
+    }
+
+    /// Input boundary vertices, in wire order.
+    pub(crate) fn inputs(&self) -> &[usize] {
+        &self.inputs
+    }
+
+    /// Output boundary vertices, in wire order.
+    pub(crate) fn outputs(&self) -> &[usize] {
+        &self.outputs
+    }
+
+    /// Allocates a fresh vertex.
+    pub(crate) fn add_vertex(&mut self, kind: VKind, phase: f64) -> usize {
+        self.kind.push(kind);
+        self.phase.push(pnorm(phase));
+        self.adj.push(BTreeMap::new());
+        self.alive.push(true);
+        self.kind.len() - 1
+    }
+
+    /// `true` if the vertex has not been removed.
+    pub(crate) fn is_alive(&self, v: usize) -> bool {
+        self.alive[v]
+    }
+
+    /// The vertex's kind.
+    pub(crate) fn vkind(&self, v: usize) -> VKind {
+        self.kind[v]
+    }
+
+    /// Recolors a spider (used by the X→Z color-change pass).
+    pub(crate) fn set_vkind(&mut self, v: usize, kind: VKind) {
+        self.kind[v] = kind;
+    }
+
+    /// `true` if the vertex is a live Z spider.
+    pub(crate) fn is_z(&self, v: usize) -> bool {
+        self.alive[v] && self.kind[v] == VKind::Z
+    }
+
+    /// The vertex's normalized phase.
+    pub(crate) fn phase(&self, v: usize) -> f64 {
+        self.phase[v]
+    }
+
+    /// Adds `delta` to the vertex's phase (normalized).
+    pub(crate) fn add_phase(&mut self, v: usize, delta: f64) {
+        self.phase[v] = pnorm(self.phase[v] + delta);
+    }
+
+    /// The edge between `a` and `b`, if any.
+    pub(crate) fn edge(&self, a: usize, b: usize) -> Option<EdgeKind> {
+        self.adj[a].get(&b).copied()
+    }
+
+    /// Degree of `v` (number of distinct neighbors).
+    pub(crate) fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Snapshot of `v`'s incident edges (neighbor, kind).
+    pub(crate) fn neighbors(&self, v: usize) -> Vec<(usize, EdgeKind)> {
+        self.adj[v].iter().map(|(&n, &k)| (n, k)).collect()
+    }
+
+    /// Inserts an edge that is known not to exist yet (translation-time
+    /// connections between fresh vertices).
+    pub(crate) fn connect(&mut self, a: usize, b: usize, kind: EdgeKind) {
+        debug_assert_ne!(a, b, "translation never builds self-loops");
+        debug_assert!(self.edge(a, b).is_none(), "translation edge collision");
+        self.adj[a].insert(b, kind);
+        self.adj[b].insert(a, kind);
+    }
+
+    fn remove_edge(&mut self, a: usize, b: usize) {
+        self.adj[a].remove(&b);
+        self.adj[b].remove(&a);
+    }
+
+    /// Removes the edge between two vertices (used when a rewrite
+    /// re-routes a connection through freshly inserted vertices).
+    pub(crate) fn kill_edge_between(&mut self, a: usize, b: usize) {
+        self.remove_edge(a, b);
+    }
+
+    fn set_edge(&mut self, a: usize, b: usize, kind: EdgeKind) {
+        self.adj[a].insert(b, kind);
+        self.adj[b].insert(a, kind);
+    }
+
+    /// Flips the kind of an existing edge (Plain ↔ Had) in place, as
+    /// the color-change rule does to every leg of a recolored spider.
+    pub(crate) fn toggle_edge_kind(&mut self, a: usize, b: usize) {
+        let kind = self
+            .edge(a, b)
+            .expect("toggle_edge_kind requires an existing edge")
+            .toggled();
+        self.set_edge(a, b, kind);
+    }
+
+    /// Toggles the presence of a Hadamard edge between two Z spiders
+    /// (used by local complementation and pivoting, whose neighborhoods
+    /// carry only Hadamard edges).
+    pub(crate) fn toggle_had(&mut self, a: usize, b: usize) {
+        match self.edge(a, b) {
+            None => self.set_edge(a, b, EdgeKind::Had),
+            Some(EdgeKind::Had) => self.remove_edge(a, b),
+            Some(EdgeKind::Plain) => {
+                // Cannot occur between interior spiders once the diagram
+                // is graph-like (fusion runs to fixpoint first). If it
+                // ever does, resolve it exactly like [`Diagram::merge_edge`]
+                // does for a parallel plain+Hadamard pair: the plain edge
+                // stays (the pair fuses later) and the Hadamard edge folds
+                // into a π phase — never delete connectivity, which could
+                // push a non-identity diagram toward a false certificate.
+                debug_assert!(false, "plain edge inside a complemented neighborhood");
+                self.add_phase(a, PI);
+            }
+        }
+    }
+
+    /// Connects `u` and `n` with an edge of kind `k`, resolving
+    /// self-loops and parallel edges by the local rules listed in the
+    /// module docs. Both endpoints must be Z spiders whenever a parallel
+    /// edge can arise (boundaries have degree 1, so they never do).
+    pub(crate) fn merge_edge(&mut self, u: usize, n: usize, k: EdgeKind) {
+        if u == n {
+            if k == EdgeKind::Had {
+                self.add_phase(u, PI);
+            }
+            return;
+        }
+        match (self.edge(u, n), k) {
+            (None, k) => self.set_edge(u, n, k),
+            // Hopf law: parallel Hadamard edges cancel mod 2.
+            (Some(EdgeKind::Had), EdgeKind::Had) => self.remove_edge(u, n),
+            // Plain ∥ Hadamard: the plain edge will fuse the pair, and
+            // the Hadamard edge then becomes a Hadamard self-loop = π.
+            (Some(EdgeKind::Had), EdgeKind::Plain) => {
+                self.set_edge(u, n, EdgeKind::Plain);
+                self.add_phase(u, PI);
+            }
+            (Some(EdgeKind::Plain), EdgeKind::Had) => self.add_phase(u, PI),
+            // Plain ∥ plain: fusing along one leaves a plain self-loop,
+            // which disappears — identical to keeping a single edge.
+            (Some(EdgeKind::Plain), EdgeKind::Plain) => {}
+        }
+    }
+
+    /// Fuses Z spider `v` into Z spider `u` along the plain edge between
+    /// them: phases add, `v`'s remaining edges transfer to `u` under
+    /// [`Diagram::merge_edge`], and `v` dies.
+    pub(crate) fn fuse(&mut self, u: usize, v: usize) {
+        debug_assert!(self.is_z(u) && self.is_z(v));
+        debug_assert_eq!(self.edge(u, v), Some(EdgeKind::Plain));
+        self.remove_edge(u, v);
+        let vphase = self.phase[v];
+        self.add_phase(u, vphase);
+        for (n, k) in self.neighbors(v) {
+            self.remove_edge(v, n);
+            self.merge_edge(u, n, k);
+        }
+        self.kill(v);
+    }
+
+    /// Removes a vertex and all its edges.
+    pub(crate) fn kill(&mut self, v: usize) {
+        for (n, _) in self.neighbors(v) {
+            self.remove_edge(v, n);
+        }
+        self.alive[v] = false;
+    }
+
+    /// Records that a rewrite ran into a would-be zero scalar; the
+    /// diagram can no longer certify anything
+    /// ([`Diagram::is_identity`] returns `false` from then on).
+    pub(crate) fn mark_zero_scalar(&mut self) {
+        self.zero_scalar = true;
+    }
+
+    /// `true` iff the diagram is the identity on its wires up to a
+    /// non-zero scalar: no spiders remain and input `i` is connected to
+    /// output `i` by a plain wire, for every `i`.
+    pub(crate) fn is_identity(&self) -> bool {
+        if self.zero_scalar {
+            return false;
+        }
+        if self.live_count() != self.inputs.len() + self.outputs.len() {
+            return false;
+        }
+        self.inputs
+            .iter()
+            .zip(&self.outputs)
+            .all(|(&i, &o)| self.degree(i) == 1 && self.edge(i, o) == Some(EdgeKind::Plain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_wires_are_not_identity_until_connected() {
+        let mut d = Diagram::new(2);
+        assert!(!d.is_identity());
+        let (i0, i1) = (d.inputs()[0], d.inputs()[1]);
+        let (o0, o1) = (d.outputs()[0], d.outputs()[1]);
+        d.connect(i0, o0, EdgeKind::Plain);
+        d.connect(i1, o1, EdgeKind::Plain);
+        assert!(d.is_identity());
+    }
+
+    #[test]
+    fn hadamard_wire_is_not_identity() {
+        let mut d = Diagram::new(1);
+        d.connect(d.inputs()[0], d.outputs()[0], EdgeKind::Had);
+        assert!(!d.is_identity());
+    }
+
+    #[test]
+    fn crossed_wires_are_not_identity() {
+        let mut d = Diagram::new(2);
+        let (i0, i1) = (d.inputs()[0], d.inputs()[1]);
+        let (o0, o1) = (d.outputs()[0], d.outputs()[1]);
+        d.connect(i0, o1, EdgeKind::Plain);
+        d.connect(i1, o0, EdgeKind::Plain);
+        assert!(!d.is_identity());
+    }
+
+    #[test]
+    fn merge_edge_cancels_parallel_hadamards() {
+        let mut d = Diagram::new(1);
+        let a = d.add_vertex(VKind::Z, 0.0);
+        let b = d.add_vertex(VKind::Z, 0.0);
+        d.merge_edge(a, b, EdgeKind::Had);
+        assert_eq!(d.edge(a, b), Some(EdgeKind::Had));
+        d.merge_edge(a, b, EdgeKind::Had);
+        assert_eq!(d.edge(a, b), None);
+    }
+
+    #[test]
+    fn hadamard_self_loop_adds_pi() {
+        let mut d = Diagram::new(1);
+        let a = d.add_vertex(VKind::Z, 0.0);
+        d.merge_edge(a, a, EdgeKind::Had);
+        assert!(phase_is_pi(d.phase(a)));
+        d.merge_edge(a, a, EdgeKind::Plain);
+        assert!(phase_is_pi(d.phase(a)));
+    }
+
+    #[test]
+    fn fusion_adds_phases_and_transfers_edges() {
+        let mut d = Diagram::new(1);
+        let a = d.add_vertex(VKind::Z, 0.3);
+        let b = d.add_vertex(VKind::Z, 0.4);
+        let c = d.add_vertex(VKind::Z, 0.0);
+        d.connect(a, b, EdgeKind::Plain);
+        d.connect(b, c, EdgeKind::Had);
+        d.fuse(a, b);
+        assert!(!d.is_alive(b));
+        assert!((d.phase(a) - 0.7).abs() < 1e-12);
+        assert_eq!(d.edge(a, c), Some(EdgeKind::Had));
+    }
+
+    #[test]
+    fn phase_predicates() {
+        assert!(phase_is_zero(pnorm(TAU)));
+        assert!(phase_is_zero(pnorm(-1e-12)));
+        assert!(phase_is_pi(pnorm(-PI)));
+        assert_eq!(phase_half_turn_sign(pnorm(PI / 2.0)), Some(1.0));
+        assert_eq!(phase_half_turn_sign(pnorm(-PI / 2.0)), Some(-1.0));
+        assert_eq!(phase_half_turn_sign(pnorm(0.3)), None);
+        assert!(phase_is_pauli(pnorm(5.0 * PI)));
+    }
+
+    #[test]
+    fn edge_kind_composition() {
+        assert_eq!(EdgeKind::Had.through(EdgeKind::Had), EdgeKind::Plain);
+        assert_eq!(EdgeKind::Had.through(EdgeKind::Plain), EdgeKind::Had);
+        assert_eq!(EdgeKind::Plain.toggled(), EdgeKind::Had);
+    }
+}

@@ -1,0 +1,293 @@
+//! Circuit → ZX-diagram translation for the full workspace gate set.
+//!
+//! Each wire carries a growing chain of spiders; a per-wire "pending
+//! Hadamard" flag absorbs `H` gates into the kind of the next edge
+//! instead of materializing Hadamard boxes as vertices. The primitive
+//! vocabulary is tiny — Z-phase spiders (`P(α)` semantics), X-phase
+//! spiders, `H` toggles, `CX` (Z spider plain-connected to X spider) and
+//! `CZ` (two Z spiders on a Hadamard edge) — and every other gate lowers
+//! onto it by an *exact* textbook decomposition (exact up to global
+//! phase, which the equivalence relation quotients out anyway):
+//!
+//! * `Ry(θ) = S · Rx(θ) · S†`, `U(θ,φ,λ) = P(φ) · Ry(θ) · P(λ)`;
+//! * `CY = S(t) · CX · S†(t)`, `CH = Ry(π/4)(t) · CZ · Ry(−π/4)(t)`;
+//! * `CP(λ) = P(λ/2)(c) · P(λ/2)(t) · CX · P(−λ/2)(t) · CX`, and
+//!   `CRz(λ) = P(−λ/2)(c) · CP(λ)`;
+//! * `CCX` via the standard 7-T decomposition, `CSwap` via `CCX`
+//!   conjugated by `CX`, `Swap` as three `CX`;
+//! * `Mcx(k)` as `H(t) · C^k Z · H(t)`, with the multi-controlled phase
+//!   expanded over the `2^{k+1}−1` parity terms of the Fourier identity
+//!   `x₁⋯x_m = 2^{1−m} Σ_{∅≠S} (−1)^{|S|+1} (⊕_{i∈S} x_i)` — exact but
+//!   exponential in `k`, so translation refuses more than
+//!   [`MAX_MCX_CONTROLS`] controls and the verifier falls through to a
+//!   lower tier.
+
+use super::graph::{Diagram, EdgeKind, VKind};
+use qcir::{Circuit, Gate};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// Largest `Mcx` control count the parity-term expansion accepts before
+/// the exponential gate count stops being worth it.
+pub const MAX_MCX_CONTROLS: usize = 6;
+
+/// Translation state: the diagram under construction plus each wire's
+/// frontier vertex and pending-Hadamard edge kind.
+struct Builder {
+    diagram: Diagram,
+    front: Vec<usize>,
+    pending: Vec<EdgeKind>,
+}
+
+impl Builder {
+    fn new(n: usize) -> Self {
+        let diagram = Diagram::new(n);
+        Builder {
+            front: diagram.inputs().to_vec(),
+            pending: vec![EdgeKind::Plain; n],
+            diagram,
+        }
+    }
+
+    /// Appends a spider to wire `w`, consuming the pending edge kind.
+    fn place(&mut self, w: usize, kind: VKind, phase: f64) -> usize {
+        let v = self.diagram.add_vertex(kind, phase);
+        self.diagram.connect(self.front[w], v, self.pending[w]);
+        self.front[w] = v;
+        self.pending[w] = EdgeKind::Plain;
+        v
+    }
+
+    /// `P(α)` = diag(1, e^{iα}): a Z spider with phase α.
+    fn zphase(&mut self, w: usize, phase: f64) {
+        self.place(w, VKind::Z, phase);
+    }
+
+    /// `X^{α/π}` up to phase: an X spider with phase α.
+    fn xphase(&mut self, w: usize, phase: f64) {
+        self.place(w, VKind::X, phase);
+    }
+
+    /// Hadamard: toggles the wire's pending edge kind (H² = I).
+    fn had(&mut self, w: usize) {
+        self.pending[w] = self.pending[w].toggled();
+    }
+
+    /// `CX`: phase-free Z spider on the control, X spider on the
+    /// target, plain edge between them.
+    fn cx(&mut self, c: usize, t: usize) {
+        let zc = self.place(c, VKind::Z, 0.0);
+        let xt = self.place(t, VKind::X, 0.0);
+        self.diagram.connect(zc, xt, EdgeKind::Plain);
+    }
+
+    /// `CZ`: two phase-free Z spiders on a Hadamard edge.
+    fn cz(&mut self, a: usize, b: usize) {
+        let za = self.place(a, VKind::Z, 0.0);
+        let zb = self.place(b, VKind::Z, 0.0);
+        self.diagram.connect(za, zb, EdgeKind::Had);
+    }
+
+    /// `Ry(θ) = S · Rx(θ) · S†` (applied right to left).
+    fn ry(&mut self, w: usize, theta: f64) {
+        self.zphase(w, -FRAC_PI_2);
+        self.xphase(w, theta);
+        self.zphase(w, FRAC_PI_2);
+    }
+
+    /// Multi-controlled Z over `wires` via the parity-term expansion.
+    fn mcz(&mut self, wires: &[usize]) {
+        let m = wires.len();
+        let scale = PI / f64::from(1u32 << (m - 1));
+        for mask in 1u32..(1 << m) {
+            let subset: Vec<usize> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| wires[i])
+                .collect();
+            let sign = if subset.len() % 2 == 1 { 1.0 } else { -1.0 };
+            let (&last, rest) = subset.split_last().expect("non-empty subset");
+            for &w in rest {
+                self.cx(w, last);
+            }
+            self.zphase(last, sign * scale);
+            for &w in rest.iter().rev() {
+                self.cx(w, last);
+            }
+        }
+    }
+
+    /// Lowers one gate onto the primitive vocabulary. `None` only for
+    /// `Mcx` beyond [`MAX_MCX_CONTROLS`] controls.
+    fn gate(&mut self, gate: &Gate, q: &[usize]) -> Option<()> {
+        match gate {
+            Gate::I => {}
+            Gate::X => self.xphase(q[0], PI),
+            Gate::Y => {
+                // Y = i·X·Z: Z first, then X.
+                self.zphase(q[0], PI);
+                self.xphase(q[0], PI);
+            }
+            Gate::Z => self.zphase(q[0], PI),
+            Gate::H => self.had(q[0]),
+            Gate::S => self.zphase(q[0], FRAC_PI_2),
+            Gate::Sdg => self.zphase(q[0], -FRAC_PI_2),
+            Gate::T => self.zphase(q[0], FRAC_PI_4),
+            Gate::Tdg => self.zphase(q[0], -FRAC_PI_4),
+            Gate::Sx => self.xphase(q[0], FRAC_PI_2),
+            Gate::Sxdg => self.xphase(q[0], -FRAC_PI_2),
+            Gate::Rx(a) => self.xphase(q[0], *a),
+            Gate::Ry(a) => self.ry(q[0], *a),
+            Gate::Rz(a) | Gate::P(a) => self.zphase(q[0], *a),
+            Gate::U(theta, phi, lambda) => {
+                self.zphase(q[0], *lambda);
+                self.ry(q[0], *theta);
+                self.zphase(q[0], *phi);
+            }
+            Gate::CX => self.cx(q[0], q[1]),
+            Gate::CY => {
+                self.zphase(q[1], -FRAC_PI_2);
+                self.cx(q[0], q[1]);
+                self.zphase(q[1], FRAC_PI_2);
+            }
+            Gate::CZ => self.cz(q[0], q[1]),
+            Gate::CH => {
+                self.ry(q[1], -FRAC_PI_4);
+                self.cz(q[0], q[1]);
+                self.ry(q[1], FRAC_PI_4);
+            }
+            Gate::CP(a) => self.cp(q[0], q[1], *a),
+            Gate::CRz(a) => {
+                self.zphase(q[0], -a / 2.0);
+                self.cp(q[0], q[1], *a);
+            }
+            Gate::Swap => {
+                self.cx(q[0], q[1]);
+                self.cx(q[1], q[0]);
+                self.cx(q[0], q[1]);
+            }
+            Gate::CCX => self.ccx(q[0], q[1], q[2]),
+            Gate::CSwap => {
+                self.cx(q[2], q[1]);
+                self.ccx(q[0], q[1], q[2]);
+                self.cx(q[2], q[1]);
+            }
+            Gate::Mcx(_) => {
+                let (&t, controls) = q.split_last().expect("mcx has a target");
+                if controls.len() > MAX_MCX_CONTROLS {
+                    return None;
+                }
+                self.had(t);
+                let mut wires = controls.to_vec();
+                wires.push(t);
+                self.mcz(&wires);
+                self.had(t);
+            }
+        }
+        Some(())
+    }
+
+    /// `CP(λ)` = `P(λ/2)(c) · P(λ/2)(t) · CX · P(−λ/2)(t) · CX`.
+    fn cp(&mut self, c: usize, t: usize, lambda: f64) {
+        self.zphase(c, lambda / 2.0);
+        self.zphase(t, lambda / 2.0);
+        self.cx(c, t);
+        self.zphase(t, -lambda / 2.0);
+        self.cx(c, t);
+    }
+
+    /// The standard exact 7-T Toffoli decomposition.
+    fn ccx(&mut self, c0: usize, c1: usize, t: usize) {
+        self.had(t);
+        self.cx(c1, t);
+        self.zphase(t, -FRAC_PI_4);
+        self.cx(c0, t);
+        self.zphase(t, FRAC_PI_4);
+        self.cx(c1, t);
+        self.zphase(t, -FRAC_PI_4);
+        self.cx(c0, t);
+        self.zphase(c1, FRAC_PI_4);
+        self.zphase(t, FRAC_PI_4);
+        self.had(t);
+        self.cx(c0, c1);
+        self.zphase(c0, FRAC_PI_4);
+        self.zphase(c1, -FRAC_PI_4);
+        self.cx(c0, c1);
+    }
+
+    /// Closes every wire onto its output boundary.
+    fn finish(mut self) -> Diagram {
+        for w in 0..self.front.len() {
+            let out = self.diagram.outputs()[w];
+            let kind = self.pending[w];
+            let front = self.front[w];
+            self.diagram.connect(front, out, kind);
+        }
+        self.diagram
+    }
+}
+
+/// Translates a circuit into an open ZX diagram. Returns `None` iff the
+/// circuit contains an `Mcx` with more than [`MAX_MCX_CONTROLS`]
+/// controls (the only gate without a polynomial-size exact lowering
+/// here).
+pub(crate) fn diagram_of(circuit: &Circuit) -> Option<Diagram> {
+    let mut b = Builder::new(circuit.num_qubits() as usize);
+    for inst in circuit.iter() {
+        let q: Vec<usize> = inst.qubits().iter().map(|w| w.index()).collect();
+        b.gate(inst.gate(), &q)?;
+    }
+    Some(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_translates_to_identity_wires() {
+        let d = diagram_of(&Circuit::new(3)).unwrap();
+        assert!(d.is_identity());
+    }
+
+    #[test]
+    fn double_hadamard_is_identity_without_rewriting() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert!(diagram_of(&c).unwrap().is_identity());
+    }
+
+    #[test]
+    fn single_hadamard_leaves_a_hadamard_wire() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let d = diagram_of(&c).unwrap();
+        assert!(!d.is_identity());
+        assert_eq!(d.spider_count(), 0);
+    }
+
+    #[test]
+    fn cx_builds_connected_spider_pair() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let d = diagram_of(&c).unwrap();
+        assert_eq!(d.spider_count(), 2);
+    }
+
+    #[test]
+    fn wide_mcx_is_refused() {
+        let mut c = Circuit::new(9);
+        c.mcx(&[0, 1, 2, 3, 4, 5, 6], 8);
+        assert!(diagram_of(&c).is_none());
+        let mut c = Circuit::new(8);
+        c.mcx(&[0, 1, 2, 3, 4, 5], 7);
+        assert!(diagram_of(&c).is_some());
+    }
+
+    #[test]
+    fn spider_counts_scale_with_gates() {
+        let mut c = Circuit::new(3);
+        c.t(0).cx(0, 1).ccx(0, 1, 2);
+        let d = diagram_of(&c).unwrap();
+        // 1 (T) + 2 (CX) + 19 (CCX: 6 CX + 7 phases; H absorbed into edges).
+        assert_eq!(d.spider_count(), 1 + 2 + 19);
+    }
+}

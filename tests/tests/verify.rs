@@ -1,17 +1,24 @@
 //! Acceptance suite for the tiered `qverify` equivalence engine.
 //!
-//! Covers the three scalability claims end to end:
+//! Covers the scalability claims end to end:
 //!
 //! * a 50-qubit Clifford identity pair is certified by the **stabilizer
 //!   tableau** tier, far beyond dense-unitary reach;
+//! * a 34-qubit Clifford+T restore round-trip — past the statevector
+//!   cap, where no tier could previously give an exact answer — is
+//!   certified by the **ZX-calculus** tier, and the ZX tier never
+//!   reports inequivalence itself (witnesses always come from a lower
+//!   tier);
 //! * a 20-qubit wrong-key recombination is rejected by the **stimulus**
-//!   tier with a concrete, reproducible witness;
+//!   tier with a concrete, reproducible witness (the ZX tier stalls on
+//!   it, as it must);
 //! * on every ≤12-qubit revlib benchmark the tiered verdict matches the
 //!   dense-unitary ground truth.
 //!
 //! Plus property-based round-trips (correct key ⇒ equivalent, wrong key
 //! ⇒ inequivalent) on random reversible circuits up to 24 qubits forced
-//! through the stimulus tier.
+//! through the stimulus tier, and ZX-vs-dense agreement on obfuscation
+//! round-trips.
 
 use proptest::prelude::*;
 use qcir::random::{random_reversible, RandomCircuitConfig};
@@ -108,6 +115,111 @@ fn fifty_qubit_clifford_pair_certified_by_tableau_tier() {
     );
 }
 
+/// A random Clifford+T circuit: H/S/T/CX/CCX, seeded.
+fn random_clifford_t(n: u32, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, "clifford_t");
+    let distinct = |rng: &mut StdRng, used: &[u32]| loop {
+        let q = rng.gen_range(0..n);
+        if !used.contains(&q) {
+            return q;
+        }
+    };
+    for _ in 0..gates {
+        match rng.gen_range(0..5u8) {
+            0 => {
+                c.h(rng.gen_range(0..n));
+            }
+            1 => {
+                c.s(rng.gen_range(0..n));
+            }
+            2 => {
+                c.t(rng.gen_range(0..n));
+            }
+            3 => {
+                let a = rng.gen_range(0..n);
+                let b = distinct(&mut rng, &[a]);
+                c.cx(a, b);
+            }
+            _ => {
+                let a = rng.gen_range(0..n);
+                let b = distinct(&mut rng, &[a]);
+                let t = distinct(&mut rng, &[a, b]);
+                c.ccx(a, b, t);
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn thirty_four_qubit_clifford_t_roundtrip_certified_by_zx_tier() {
+    // ISSUE 3 acceptance: past the statevector cap (26 qubits) a
+    // Clifford+T restore round-trip used to be Inconclusive — no tier
+    // applied. The ZX tier now certifies it *exactly*.
+    let n = 34u32;
+    assert!(n > qverify::MAX_STIMULUS_QUBITS);
+    let c = random_clifford_t(n, 240, 7);
+    let verifier = Verifier::new();
+    assert!(
+        verifier.check_tableau(&c, &c.clone()).is_none(),
+        "pair must be non-Clifford for the claim to be meaningful"
+    );
+
+    let obf = Obfuscator::new().with_seed(3).obfuscate(&c);
+    let split = obf.split(11);
+    let restored = recombine(&split).unwrap();
+    let report = verifier.check_report(&c, &restored);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    assert!(report.verdict.is_equivalent(), "{report}");
+    assert_eq!(report.confidence(), 1.0);
+
+    // A corrupted restore cannot be *witnessed* at this size: the ZX
+    // tier stalls — it never reports Inequivalent, so a wrong verdict
+    // is impossible — and every simulation tier is out of reach, so the
+    // dispatch honestly reports Inconclusive rather than guessing.
+    let mut corrupted = restored.clone();
+    corrupted.t(5);
+    assert!(verifier.check_zx(&c, &corrupted).is_none());
+    let report = verifier.check_report(&c, &corrupted);
+    assert!(
+        matches!(report.verdict, Verdict::Inconclusive { .. }),
+        "{report}"
+    );
+}
+
+#[test]
+fn zx_certificates_agree_with_dense_on_revlib_roundtrips() {
+    // Soundness gate for the new tier: everywhere dense ground truth is
+    // available, a ZX certificate must coincide with it (stalls are
+    // allowed; false certificates are not).
+    let verifier = Verifier::new();
+    let mut certified = 0u32;
+    for bench in all_benchmarks() {
+        let c = bench.circuit();
+        let obf = Obfuscator::new().with_seed(5).obfuscate(c);
+        let restored = recombine(&obf.split(9)).unwrap();
+        if let Some(report) = verifier.check_zx(c, &restored) {
+            certified += 1;
+            assert!(report.verdict.is_equivalent());
+            assert!(
+                equivalent_up_to_phase(c, &restored, 1e-9).unwrap(),
+                "{}: ZX certified a pair dense rejects",
+                bench.name()
+            );
+        }
+        // Corrupted candidates must never be certified.
+        let mut corrupted = restored.clone();
+        corrupted.x(0);
+        assert!(
+            verifier.check_zx(c, &corrupted).is_none(),
+            "{}: ZX must not certify a corrupted restore",
+            bench.name()
+        );
+    }
+    assert!(certified >= 3, "cross-check must not be vacuous");
+}
+
 #[test]
 fn twenty_qubit_wrong_key_rejected_with_stimulus_witness() {
     let c = random_reversible(&RandomCircuitConfig::new(20, 40, 9));
@@ -116,11 +228,15 @@ fn twenty_qubit_wrong_key_rejected_with_stimulus_witness() {
     let verifier = Verifier::new().with_trials(4).with_threads(2).with_seed(77);
 
     // Correct key: the 20-qubit register is past both the classical
-    // exhaustive cap and the dense cap, so the stimulus tier certifies.
+    // exhaustive cap and the dense cap.
     let restored = recombine(&split).unwrap();
     let report = verifier.check_report(&c, &restored);
-    assert_eq!(report.tier, Tier::Stimulus, "{report}");
+    // Since the ZX tier landed, the correct-key round-trip is decided
+    // *exactly* — the miter's inserted R⁻¹R pairs and mirrored gates
+    // all cancel under graph rewriting, so no sampling is needed.
+    assert_eq!(report.tier, Tier::Zx, "{report}");
     assert!(report.verdict.is_equivalent(), "{report}");
+    assert_eq!(report.confidence(), 1.0);
 
     // Wrong key: swapped wire-map images.
     let bad = wrong_key_recombination(&split).expect("right segment spans ≥2 wires");
