@@ -1,7 +1,14 @@
 //! Criterion bench: simulator throughput — the substrate cost behind
-//! every accuracy/TVD data point (1000-shot noisy runs).
+//! every accuracy/TVD data point (1000-shot noisy runs), plus the
+//! kernel-engine groups: statevector scaling at 16/20/24/28 qubits and
+//! the fused/unfused/naive comparison that makes the engine's win
+//! measurable rather than claimed.
+//!
+//! The 24q and 28q scaling cases allocate multi-GiB states and take
+//! tens of seconds per iteration; run this bench deliberately.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::statevector::{ExecConfig, MAX_QUBITS};
 use qsim::{Sampler, Statevector};
 use revlib::{adder_1bit, rd53, rd84};
 
@@ -36,5 +43,64 @@ fn bench_noisy_shots(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_noisy_shots);
+fn bench_statevector_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_scaling");
+    group.sample_size(10);
+    for (n, gates) in [(16, 200), (20, 160), (24, 60), (MAX_QUBITS, 40)] {
+        let circuit = bench::clifford_t_circuit(n, gates);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}q")),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| Statevector::from_circuit(circuit).expect("fits"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_fusion");
+    group.sample_size(10);
+    let cases = [
+        ("rd84", rd84().circuit().clone()),
+        ("clifford_t_20q", bench::clifford_t_circuit(20, 160)),
+    ];
+    for (name, circuit) in &cases {
+        group.bench_with_input(BenchmarkId::new("fused", name), circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sv = Statevector::zero(circuit.num_qubits()).expect("fits");
+                sv.apply_circuit_with(circuit, &ExecConfig::default())
+                    .expect("fits");
+                sv
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("unfused", name), circuit, |b, circuit| {
+            b.iter(|| {
+                let mut sv = Statevector::zero(circuit.num_qubits()).expect("fits");
+                sv.apply_circuit_with(circuit, &ExecConfig::unfused())
+                    .expect("fits");
+                sv
+            });
+        });
+        // The pre-engine full-scan loops: the baseline the ≥2× claim is
+        // measured against.
+        group.bench_with_input(
+            BenchmarkId::new("naive_baseline", name),
+            circuit,
+            |b, circuit| {
+                b.iter(|| bench::naive::from_circuit(circuit));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_noisy_shots,
+    bench_statevector_scaling,
+    bench_fused_vs_unfused
+);
 criterion_main!(benches);

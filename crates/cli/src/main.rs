@@ -45,7 +45,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("compile") => compile(&rest(args)),
         Some("help") | None => {
             if it.next().map(String::as_str) == Some("verify") {
-                print!("{VERIFY_HELP}");
+                print!("{}", verify_help());
             } else {
                 print!("{USAGE}");
             }
@@ -306,7 +306,12 @@ fn recombine_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-const VERIFY_HELP: &str = "\
+/// Long help for `verify`. Built at runtime so every advertised qubit
+/// cap derives from the authoritative constants — a cap bump in `qsim`
+/// or `qverify` can never leave this text stale.
+fn verify_help() -> String {
+    format!(
+        "\
 tetrislock verify <a> <b> [--trials N] [--seed N]
 
 Decides whether two circuits implement the same unitary (up to global
@@ -316,7 +321,7 @@ identity wires onto the larger register.
 Tier selection — the cheapest applicable decision procedure wins:
 
   classical      both circuits classical reversible (X/CX/CCX/MCX/SWAP/
-                 CSWAP) and <= 16 qubits. Exact: every basis input is
+                 CSWAP) and <= {classical} qubits. Exact: every basis input is
                  enumerated.
   tableau        both circuits Clifford (H/S/CX and gates reducible to
                  them, incl. right-angle rotations). Exact at hundreds
@@ -326,10 +331,10 @@ Tier selection — the cheapest applicable decision procedure wins:
                  wires is an exact equivalence proof. One-sided: a
                  stalled reduction proves nothing and falls through —
                  this tier never reports inequivalence.
-  dense-unitary  <= 12 qubits. Exact full-unitary comparison; produces
+  dense-unitary  <= {dense} qubits. Exact full-unitary comparison; produces
                  a concrete witness (basis column or relative phase) on
                  failure.
-  stimulus       <= 26 qubits. Statistical: the miter runs on --trials
+  stimulus       <= {stimulus} qubits. Statistical: the miter runs on --trials
                  random product states (default 16), in parallel. A
                  failed trial is a concrete, reproducible witness; a
                  clean pass certifies equivalence with confidence
@@ -344,11 +349,16 @@ Options:
 
 Output: the verdict, the deciding tier, and on failure a witness.
 Exit status: 0 iff equivalent, 1 otherwise (including inconclusive).
-";
+",
+        classical = qverify::CLASSICAL_EXHAUSTIVE_MAX_QUBITS,
+        dense = qverify::MAX_UNITARY_QUBITS,
+        stimulus = qverify::MAX_STIMULUS_QUBITS,
+    )
+}
 
 fn verify(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        print!("{VERIFY_HELP}");
+        print!("{}", verify_help());
         return Ok(());
     }
     let (paths, options) = parse(args)?;
@@ -497,7 +507,7 @@ mod tests {
         assert!(run(&s(&["help", "verify"])).is_ok());
         for needle in ["zx-calculus", "--trials", "--seed", "stimulus"] {
             assert!(
-                VERIFY_HELP.contains(needle),
+                verify_help().contains(needle),
                 "verify help must document {needle}"
             );
         }

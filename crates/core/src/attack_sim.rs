@@ -153,7 +153,10 @@ fn enumerate<F: FnMut(&[u32])>(
 /// Builds the strongest oracle the model allows: functional equivalence
 /// with the victim design, decided by the tiered `qverify` engine — so
 /// key-discrimination loops scale past the dense-unitary cap (stimulus
-/// tier for wide registers, stabilizer tableau for Clifford victims).
+/// tier for wide registers up to `qsim::statevector::MAX_QUBITS`,
+/// stabilizer tableau for Clifford victims). Each oracle query replays
+/// the candidate on qsim's kernel engine, so per-guess cost tracks the
+/// simulator's stride/fusion/threading improvements directly.
 ///
 /// A candidate on a different register size is never a match; anything
 /// short of a definite [`qverify::Verdict::Equivalent`] counts as a

@@ -12,6 +12,9 @@
 //!   fluent builder API, structural helpers and [`Circuit::inverse`].
 //! * [`dag`] — a dependency DAG over instructions with ASAP layering, the
 //!   basis for depth computation and TetrisLock's empty-slot analysis.
+//! * [`fusion`] — a pre-pass grouping maximal runs of adjacent
+//!   single-qubit gates per wire, so simulators can apply one fused
+//!   kernel per run instead of one pass per gate.
 //! * [`qasm`] — OpenQASM 2.0 emission and a parser for the subset this
 //!   workspace produces.
 //! * [`real`] — a parser/writer for the RevLib `.real` reversible-circuit
@@ -41,6 +44,7 @@ pub mod circuit;
 pub mod dag;
 pub mod display;
 pub mod error;
+pub mod fusion;
 pub mod gate;
 pub mod qasm;
 pub mod qubit;

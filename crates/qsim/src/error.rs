@@ -49,12 +49,15 @@ mod tests {
 
     #[test]
     fn messages_carry_numbers() {
+        // The advertised cap must derive from the one source of truth,
+        // `statevector::MAX_QUBITS`, so a cap bump cannot drift.
+        use crate::statevector::MAX_QUBITS;
         let e = SimError::TooManyQubits {
-            requested: 40,
-            max: 26,
+            requested: MAX_QUBITS + 12,
+            max: MAX_QUBITS,
         };
-        assert!(e.to_string().contains("40"));
-        assert!(e.to_string().contains("26"));
+        assert!(e.to_string().contains(&(MAX_QUBITS + 12).to_string()));
+        assert!(e.to_string().contains(&MAX_QUBITS.to_string()));
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! `FakeValencia`, 1000 shots) and comparing output distributions; this
 //! crate provides the equivalent stack in Rust:
 //!
-//! * [`Statevector`] — dense pure-state simulation up to 26 qubits with
-//!   fast paths for the classical reversible gates RevLib circuits are made
-//!   of.
+//! * [`Statevector`] — dense pure-state simulation up to
+//!   [`statevector::MAX_QUBITS`] qubits on a layered kernel engine:
+//!   branch-free stride loops, diagonal/permutation fast paths,
+//!   single-qubit gate fusion, and multi-threaded application for wide
+//!   registers.
 //! * [`unitary`] — full-unitary extraction and equivalence checking used to
 //!   *prove* de-obfuscation correctness in tests.
 //! * [`noise`] — stochastic Pauli + readout error model (the Monte-Carlo
@@ -40,6 +42,7 @@ pub mod complex;
 pub mod density;
 pub mod device;
 pub mod error;
+pub(crate) mod kernels;
 pub mod matrix;
 pub mod noise;
 pub mod sampler;
@@ -51,4 +54,4 @@ pub use density::DensityMatrix;
 pub use device::Device;
 pub use error::SimError;
 pub use sampler::{Counts, Sampler};
-pub use statevector::Statevector;
+pub use statevector::{ExecConfig, Statevector};

@@ -1,10 +1,23 @@
 //! Statevector simulation.
+//!
+//! The hot path lives in the crate-private `kernels` module: branch-free
+//! stride loops
+//! that enumerate only the amplitude-group base indices, specialized
+//! diagonal/permutation fast paths, and multi-threaded application
+//! above [`PARALLEL_MIN_QUBITS`] qubits. [`Statevector::apply_circuit`]
+//! additionally runs `qcir`'s single-qubit fusion pre-pass, collapsing
+//! every run of adjacent same-wire gates into one 2×2 kernel
+//! application (see [`ExecConfig`] to opt out, e.g. for benchmarking).
 
 use crate::complex::C64;
 use crate::error::SimError;
+use crate::kernels::{self, Mat2, Threading};
 use crate::matrix::{gate_matrix, Matrix};
+use qcir::fusion::{fused_stream, FusedOp};
 use qcir::{Circuit, Gate, Instruction, Qubit};
 use rand::Rng;
+
+pub use crate::kernels::PARALLEL_MIN_QUBITS;
 
 /// A pure n-qubit quantum state as 2ⁿ complex amplitudes.
 ///
@@ -33,9 +46,71 @@ pub struct Statevector {
     amps: Vec<C64>,
 }
 
-/// Maximum number of qubits the dense simulator accepts (2²⁶ amplitudes ≈
-/// 1 GiB); the paper's circuits use at most 12.
-pub const MAX_QUBITS: u32 = 26;
+/// Maximum number of qubits the dense simulator accepts (2²⁸ amplitudes
+/// ≈ 4 GiB); the paper's circuits use at most 12. Everything deriving a
+/// capacity from the simulator — [`SimError::TooManyQubits`], the
+/// qverify stimulus tier, the CLI help — must reference this constant
+/// rather than repeat the number.
+pub const MAX_QUBITS: u32 = 28;
+
+/// Register size at which [`Statevector::apply_circuit`] starts fusing
+/// adjacent single-qubit gates; below it the per-run matrix products
+/// cost more than the saved passes over a tiny amplitude array.
+pub const FUSION_MIN_QUBITS: u32 = 8;
+
+/// Execution configuration for the kernel engine.
+///
+/// The defaults (gate fusion on, auto thread count) are what
+/// [`Statevector::apply_circuit`] uses; construct one explicitly only
+/// to pin behaviour down, e.g. in benchmarks comparing fused against
+/// unfused application.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qsim::statevector::{ExecConfig, Statevector};
+///
+/// let mut c = Circuit::new(10);
+/// for q in 0..10 {
+///     c.h(q).t(q).h(q);
+/// }
+/// let mut fused = Statevector::zero(10)?;
+/// fused.apply_circuit_with(&c, &ExecConfig::default())?;
+/// let mut unfused = Statevector::zero(10)?;
+/// unfused.apply_circuit_with(&c, &ExecConfig::unfused())?;
+/// assert!(fused.approx_eq_up_to_phase(&unfused, 1e-12));
+/// # Ok::<(), qsim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Fuse runs of adjacent same-wire single-qubit gates into one
+    /// kernel application (above [`FUSION_MIN_QUBITS`]).
+    pub fuse: bool,
+    /// Kernel worker threads (`0` = auto-detect, capped at 8; threads
+    /// only engage at [`PARALLEL_MIN_QUBITS`]+ qubits).
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            fuse: true,
+            threads: 0,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The default configuration with fusion disabled (per-instruction
+    /// dispatch; stride kernels and threading still apply).
+    pub fn unfused() -> Self {
+        ExecConfig {
+            fuse: false,
+            threads: 0,
+        }
+    }
+}
 
 impl Statevector {
     /// Creates `|0…0⟩` over `num_qubits` qubits.
@@ -94,21 +169,58 @@ impl Statevector {
         &self.amps
     }
 
-    /// Applies every instruction of `circuit` in order.
+    /// Applies every instruction of `circuit` in order, with the
+    /// default execution configuration (fusion on, auto threads).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::QubitMismatch`] if the circuit register exceeds
     /// the state's.
     pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        self.apply_circuit_with(circuit, &ExecConfig::default())
+    }
+
+    /// Applies `circuit` under an explicit [`ExecConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitMismatch`] if the circuit register exceeds
+    /// the state's.
+    pub fn apply_circuit_with(
+        &mut self,
+        circuit: &Circuit,
+        config: &ExecConfig,
+    ) -> Result<(), SimError> {
         if circuit.num_qubits() > self.num_qubits {
             return Err(SimError::QubitMismatch {
                 circuit: circuit.num_qubits(),
                 state: self.num_qubits,
             });
         }
-        for inst in circuit.iter() {
-            self.apply(inst)?;
+        let th = Threading::with_workers(config.threads);
+        if config.fuse && self.num_qubits >= FUSION_MIN_QUBITS {
+            for op in fused_stream(circuit) {
+                match op {
+                    FusedOp::Single(inst) => self.apply_with(inst, th)?,
+                    FusedOp::Run(run) => {
+                        if let [gate] = run.gates[..] {
+                            self.apply_gate(gate, &[run.qubit], th);
+                        } else {
+                            let tbit = 1usize << run.qubit.index();
+                            let m = compose_run(&run.gates);
+                            if m.is_diagonal() {
+                                kernels::apply_diag1(&mut self.amps, th, tbit, m.m00, m.m11);
+                            } else {
+                                kernels::apply_1q(&mut self.amps, th, tbit, m);
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for inst in circuit.iter() {
+                self.apply_with(inst, th)?;
+            }
         }
         Ok(())
     }
@@ -119,6 +231,10 @@ impl Statevector {
     ///
     /// Returns [`SimError::QubitMismatch`] if an operand is out of range.
     pub fn apply(&mut self, inst: &Instruction) -> Result<(), SimError> {
+        self.apply_with(inst, Threading::auto())
+    }
+
+    fn apply_with(&mut self, inst: &Instruction, th: Threading) -> Result<(), SimError> {
         for q in inst.qubits() {
             if q.raw() >= self.num_qubits {
                 return Err(SimError::QubitMismatch {
@@ -127,119 +243,56 @@ impl Statevector {
                 });
             }
         }
-        match inst.gate() {
-            // Fast classical paths.
-            Gate::I => {}
-            Gate::X => self.apply_x(inst.qubits()[0]),
-            Gate::CX => self.apply_cx(inst.qubits()[0], inst.qubits()[1]),
-            Gate::CCX => {
-                let q = inst.qubits();
-                self.apply_mcx(&[q[0], q[1]], q[2]);
-            }
-            Gate::Mcx(_) => {
-                let q = inst.qubits();
-                let (controls, target) = q.split_at(q.len() - 1);
-                self.apply_mcx(controls, target[0]);
-            }
-            Gate::Swap => self.apply_swap(inst.qubits()[0], inst.qubits()[1]),
-            gate if gate.arity() == 1 => {
-                self.apply_1q(&gate_matrix(gate), inst.qubits()[0]);
-            }
-            gate => {
-                self.apply_kq(&gate_matrix(gate), inst.qubits());
-            }
-        }
+        self.apply_gate(inst.gate(), inst.qubits(), th);
         Ok(())
     }
 
-    fn apply_x(&mut self, q: Qubit) {
-        let bit = 1usize << q.index();
-        for i in 0..self.amps.len() {
-            if i & bit == 0 {
-                self.amps.swap(i, i | bit);
+    /// Dispatches `gate` to its kernel. Operands must already be
+    /// validated against the register.
+    fn apply_gate(&mut self, gate: &Gate, qubits: &[Qubit], th: Threading) {
+        use std::f64::consts::FRAC_PI_4;
+        let amps = &mut self.amps[..];
+        let bit = |i: usize| 1usize << qubits[i].index();
+        match gate {
+            Gate::I => {}
+            // Permutation gates: pure amplitude swaps.
+            Gate::X => kernels::apply_mcx(amps, th, 0, bit(0)),
+            Gate::CX => kernels::apply_mcx(amps, th, bit(0), bit(1)),
+            Gate::CCX => kernels::apply_mcx(amps, th, bit(0) | bit(1), bit(2)),
+            Gate::Mcx(_) => {
+                let (controls, target) = qubits.split_at(qubits.len() - 1);
+                let cmask: usize = controls.iter().map(|q| 1usize << q.index()).sum();
+                kernels::apply_mcx(amps, th, cmask, 1usize << target[0].index());
             }
-        }
-    }
-
-    fn apply_cx(&mut self, control: Qubit, target: Qubit) {
-        let cbit = 1usize << control.index();
-        let tbit = 1usize << target.index();
-        for i in 0..self.amps.len() {
-            if i & cbit != 0 && i & tbit == 0 {
-                self.amps.swap(i, i | tbit);
+            Gate::Swap => kernels::apply_swap(amps, th, 0, bit(0), bit(1)),
+            Gate::CSwap => kernels::apply_swap(amps, th, bit(0), bit(1), bit(2)),
+            // Diagonal gates: pure per-amplitude phase multiplies.
+            Gate::Z => kernels::apply_diag1(amps, th, bit(0), C64::ONE, -C64::ONE),
+            Gate::S => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::I),
+            Gate::Sdg => kernels::apply_diag1(amps, th, bit(0), C64::ONE, -C64::I),
+            Gate::T => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::cis(FRAC_PI_4)),
+            Gate::Tdg => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::cis(-FRAC_PI_4)),
+            Gate::P(a) => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::cis(*a)),
+            Gate::Rz(a) => {
+                kernels::apply_diag1(amps, th, bit(0), C64::cis(-a / 2.0), C64::cis(a / 2.0))
             }
-        }
-    }
-
-    fn apply_mcx(&mut self, controls: &[Qubit], target: Qubit) {
-        let cmask: usize = controls.iter().map(|q| 1usize << q.index()).sum();
-        let tbit = 1usize << target.index();
-        for i in 0..self.amps.len() {
-            if i & cmask == cmask && i & tbit == 0 {
-                self.amps.swap(i, i | tbit);
+            Gate::CZ => kernels::apply_phase(amps, th, bit(0) | bit(1), 0, -C64::ONE),
+            Gate::CP(a) => kernels::apply_phase(amps, th, bit(0) | bit(1), 0, C64::cis(*a)),
+            Gate::CRz(a) => {
+                kernels::apply_phase(amps, th, bit(0), bit(1), C64::cis(-a / 2.0));
+                kernels::apply_phase(amps, th, bit(0) | bit(1), 0, C64::cis(a / 2.0));
             }
-        }
-    }
-
-    fn apply_swap(&mut self, a: Qubit, b: Qubit) {
-        let abit = 1usize << a.index();
-        let bbit = 1usize << b.index();
-        for i in 0..self.amps.len() {
-            if i & abit != 0 && i & bbit == 0 {
-                self.amps.swap(i, (i & !abit) | bbit);
+            // Remaining two-qubit unitaries: dedicated 2q kernel, never
+            // the generic gather/scatter.
+            Gate::CY | Gate::CH => kernels::apply_2q(amps, th, bit(0), bit(1), &gate_matrix(gate)),
+            // General single-qubit unitaries (H, Y, Sx, Rx, Ry, U…).
+            gate if gate.arity() == 1 => {
+                kernels::apply_1q(amps, th, bit(0), Mat2::from_matrix(&gate_matrix(gate)));
             }
-        }
-    }
-
-    fn apply_1q(&mut self, m: &Matrix, q: Qubit) {
-        let bit = 1usize << q.index();
-        let (m00, m01, m10, m11) = (m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1));
-        for i in 0..self.amps.len() {
-            if i & bit == 0 {
-                let a0 = self.amps[i];
-                let a1 = self.amps[i | bit];
-                self.amps[i] = m00 * a0 + m01 * a1;
-                self.amps[i | bit] = m10 * a0 + m11 * a1;
-            }
-        }
-    }
-
-    /// General k-qubit gate application: gathers each group of 2ᵏ
-    /// amplitudes addressed by the operand bits, multiplies by the matrix,
-    /// and scatters back.
-    fn apply_kq(&mut self, m: &Matrix, qubits: &[Qubit]) {
-        let k = qubits.len();
-        let dim = 1usize << k;
-        debug_assert_eq!(m.dim(), dim);
-        let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
-        let mask: usize = bits.iter().sum();
-
-        let mut gathered = vec![C64::ZERO; dim];
-        for base in 0..self.amps.len() {
-            if base & mask != 0 {
-                continue;
-            }
-            for (pattern, slot) in gathered.iter_mut().enumerate() {
-                let mut idx = base;
-                for (bit_pos, bit) in bits.iter().enumerate() {
-                    if pattern & (1 << bit_pos) != 0 {
-                        idx |= bit;
-                    }
-                }
-                *slot = self.amps[idx];
-            }
-            for row in 0..dim {
-                let mut acc = C64::ZERO;
-                for (col, &g) in gathered.iter().enumerate() {
-                    acc += m.get(row, col) * g;
-                }
-                let mut idx = base;
-                for (bit_pos, bit) in bits.iter().enumerate() {
-                    if row & (1 << bit_pos) != 0 {
-                        idx |= bit;
-                    }
-                }
-                self.amps[idx] = acc;
+            // Fallback for any future gate without a specialized path.
+            gate => {
+                let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
+                kernels::apply_kq(amps, th, &bits, &gate_matrix(gate));
             }
         }
     }
@@ -305,6 +358,146 @@ impl Statevector {
         (overlap.abs() - 1.0).abs() <= eps
             && (self.norm() - 1.0).abs() <= eps
             && (other.norm() - 1.0).abs() <= eps
+    }
+}
+
+/// Composes a fused run's gates into one 2×2 matrix (`gates[0]` acts
+/// first, so the product is `m_k ⋯ m_1`).
+fn compose_run(gates: &[&Gate]) -> Mat2 {
+    let mut acc = Matrix::identity(2);
+    for gate in gates {
+        acc = gate_matrix(gate).mul(&acc);
+    }
+    Mat2::from_matrix(&acc)
+}
+
+/// The pre-kernel-engine naive loops, kept verbatim as the ground-truth
+/// reference for the kernel-equivalence suite (`cargo test -p qsim --
+/// kernels`): every new code path — stride, fused, threaded — must
+/// reproduce these amplitudes to ≤ 1e-12.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// Applies every instruction of `circuit` with the naive kernels.
+    pub fn apply_circuit(amps: &mut [C64], circuit: &Circuit) {
+        for inst in circuit.iter() {
+            apply(amps, inst);
+        }
+    }
+
+    /// The original `Statevector::apply` dispatch.
+    pub fn apply(amps: &mut [C64], inst: &Instruction) {
+        match inst.gate() {
+            Gate::I => {}
+            Gate::X => apply_x(amps, inst.qubits()[0]),
+            Gate::CX => apply_cx(amps, inst.qubits()[0], inst.qubits()[1]),
+            Gate::CCX => {
+                let q = inst.qubits();
+                apply_mcx(amps, &[q[0], q[1]], q[2]);
+            }
+            Gate::Mcx(_) => {
+                let q = inst.qubits();
+                let (controls, target) = q.split_at(q.len() - 1);
+                apply_mcx(amps, controls, target[0]);
+            }
+            Gate::Swap => apply_swap(amps, inst.qubits()[0], inst.qubits()[1]),
+            gate if gate.arity() == 1 => {
+                apply_1q(amps, &gate_matrix(gate), inst.qubits()[0]);
+            }
+            gate => {
+                apply_kq(amps, &gate_matrix(gate), inst.qubits());
+            }
+        }
+    }
+
+    fn apply_x(amps: &mut [C64], q: Qubit) {
+        let bit = 1usize << q.index();
+        for i in 0..amps.len() {
+            if i & bit == 0 {
+                amps.swap(i, i | bit);
+            }
+        }
+    }
+
+    fn apply_cx(amps: &mut [C64], control: Qubit, target: Qubit) {
+        let cbit = 1usize << control.index();
+        let tbit = 1usize << target.index();
+        for i in 0..amps.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_mcx(amps: &mut [C64], controls: &[Qubit], target: Qubit) {
+        let cmask: usize = controls.iter().map(|q| 1usize << q.index()).sum();
+        let tbit = 1usize << target.index();
+        for i in 0..amps.len() {
+            if i & cmask == cmask && i & tbit == 0 {
+                amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_swap(amps: &mut [C64], a: Qubit, b: Qubit) {
+        let abit = 1usize << a.index();
+        let bbit = 1usize << b.index();
+        for i in 0..amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    fn apply_1q(amps: &mut [C64], m: &Matrix, q: Qubit) {
+        let bit = 1usize << q.index();
+        let (m00, m01, m10, m11) = (m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1));
+        for i in 0..amps.len() {
+            if i & bit == 0 {
+                let a0 = amps[i];
+                let a1 = amps[i | bit];
+                amps[i] = m00 * a0 + m01 * a1;
+                amps[i | bit] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    fn apply_kq(amps: &mut [C64], m: &Matrix, qubits: &[Qubit]) {
+        let k = qubits.len();
+        let dim = 1usize << k;
+        debug_assert_eq!(m.dim(), dim);
+        let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
+        let mask: usize = bits.iter().sum();
+
+        let mut gathered = vec![C64::ZERO; dim];
+        for base in 0..amps.len() {
+            if base & mask != 0 {
+                continue;
+            }
+            for (pattern, slot) in gathered.iter_mut().enumerate() {
+                let mut idx = base;
+                for (bit_pos, bit) in bits.iter().enumerate() {
+                    if pattern & (1 << bit_pos) != 0 {
+                        idx |= bit;
+                    }
+                }
+                *slot = amps[idx];
+            }
+            for row in 0..dim {
+                let mut acc = C64::ZERO;
+                for (col, &g) in gathered.iter().enumerate() {
+                    acc += m.get(row, col) * g;
+                }
+                let mut idx = base;
+                for (bit_pos, bit) in bits.iter().enumerate() {
+                    if row & (1 << bit_pos) != 0 {
+                        idx |= bit;
+                    }
+                }
+                amps[idx] = acc;
+            }
+        }
     }
 }
 
@@ -473,15 +666,50 @@ mod tests {
 
     #[test]
     fn kq_path_matches_fast_path() {
-        // Apply CX via the generic matrix path and compare.
+        // Apply CX via the generic gather/scatter path and compare.
         let mut c = Circuit::new(3);
         c.h(0).h(2);
         let mut fast = Statevector::from_circuit(&c).unwrap();
-        let mut slow = fast.clone();
+        let slow = fast.clone();
         let inst = Instruction::new(Gate::CX, vec![Qubit::new(0), Qubit::new(2)]).unwrap();
         fast.apply(&inst).unwrap();
-        slow.apply_kq(&gate_matrix(&Gate::CX), inst.qubits());
-        for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+        let mut slow_amps = slow.amps;
+        let bits: Vec<usize> = inst.qubits().iter().map(|q| 1usize << q.index()).collect();
+        kernels::apply_kq(
+            &mut slow_amps,
+            Threading::single(),
+            &bits,
+            &gate_matrix(&Gate::CX),
+        );
+        for (a, b) in fast.amplitudes().iter().zip(&slow_amps) {
+            assert!(a.approx_eq(*b, EPS));
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_agree_on_deep_runs() {
+        // Long same-wire chains interleaved with entanglers: the fusion
+        // pre-pass must not change the state.
+        let n = FUSION_MIN_QUBITS + 1;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q).t(q).rz(0.3 * (q as f64 + 1.0), q).s(q).h(q);
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..n {
+            c.tdg(q).sx(q).p(-0.8, q);
+        }
+        let mut fused = Statevector::zero(n).unwrap();
+        fused
+            .apply_circuit_with(&c, &ExecConfig::default())
+            .unwrap();
+        let mut unfused = Statevector::zero(n).unwrap();
+        unfused
+            .apply_circuit_with(&c, &ExecConfig::unfused())
+            .unwrap();
+        for (a, b) in fused.amplitudes().iter().zip(unfused.amplitudes()) {
             assert!(a.approx_eq(*b, EPS));
         }
     }
@@ -524,5 +752,22 @@ mod tests {
         let s2 = Statevector::from_circuit(&c2).unwrap();
         // On |0>, rz and p differ only by global phase.
         assert!(s1.approx_eq_up_to_phase(&s2, EPS));
+    }
+
+    #[test]
+    fn compose_run_multiplies_in_application_order() {
+        // h then s: matrix is S·H, which maps |0⟩ to (|0⟩ + i|1⟩)/√2.
+        let m = compose_run(&[&Gate::H, &Gate::S]);
+        assert!(m
+            .m00
+            .approx_eq(C64::real(std::f64::consts::FRAC_1_SQRT_2), EPS));
+        assert!(m
+            .m10
+            .approx_eq(C64::new(0.0, std::f64::consts::FRAC_1_SQRT_2), EPS));
+        // A run of diagonal gates composes to an exactly-diagonal matrix.
+        let d = compose_run(&[&Gate::T, &Gate::Rz(0.4), &Gate::S, &Gate::P(1.1)]);
+        assert!(d.is_diagonal());
+        // Any non-diagonal factor breaks exact diagonality.
+        assert!(!compose_run(&[&Gate::T, &Gate::H]).is_diagonal());
     }
 }

@@ -593,7 +593,7 @@ mod tests {
 
     #[test]
     fn zx_tier_reaches_past_every_simulation_cap() {
-        let n = MAX_STIMULUS_QUBITS + 14; // 40 qubits
+        let n = MAX_STIMULUS_QUBITS + 14; // 42 qubits
         let mut a = Circuit::new(n);
         for q in 0..n - 1 {
             a.h(q).t(q).cx(q, q + 1);

@@ -115,7 +115,10 @@ pub(crate) fn check(
 
 /// Worker count: requested (or available parallelism), capped by the
 /// trial count and by a per-register memory budget — each worker owns
-/// two `2ⁿ`-amplitude statevectors, so wide registers get fewer threads.
+/// two `2ⁿ`-amplitude statevectors, so wide registers get fewer
+/// threads; at the `qsim::statevector::MAX_QUBITS` cap (28 qubits,
+/// 4 GiB per state) a single worker runs, and the parallelism moves
+/// *inside* each gate application via qsim's chunked kernels instead.
 fn effective_workers(threads: usize, trials: u64, num_qubits: u32) -> usize {
     let requested = if threads == 0 {
         std::thread::available_parallelism()

@@ -12,6 +12,9 @@
 //! * a 20-qubit wrong-key recombination is rejected by the **stimulus**
 //!   tier with a concrete, reproducible witness (the ZX tier stalls on
 //!   it, as it must);
+//! * a 28-qubit wrong-key recombination — at the raised statevector cap
+//!   (`qsim::statevector::MAX_QUBITS`, inherited by the stimulus tier)
+//!   — is likewise rejected with a stimulus witness;
 //! * on every ≤12-qubit revlib benchmark the tiered verdict matches the
 //!   dense-unitary ground truth.
 //!
@@ -154,7 +157,7 @@ fn random_clifford_t(n: u32, gates: usize, seed: u64) -> Circuit {
 
 #[test]
 fn thirty_four_qubit_clifford_t_roundtrip_certified_by_zx_tier() {
-    // ISSUE 3 acceptance: past the statevector cap (26 qubits) a
+    // ISSUE 3 acceptance: past the statevector cap (now 28 qubits) a
     // Clifford+T restore round-trip used to be Inconclusive — no tier
     // applied. The ZX tier now certifies it *exactly*.
     let n = 34u32;
@@ -259,6 +262,41 @@ fn twenty_qubit_wrong_key_rejected_with_stimulus_witness() {
     };
     // The witness is concrete: a reproducible trial with fidelity < 1.
     assert!(fidelity < 1.0 - 1e-9, "trial {trial} seed {seed:#x}");
+}
+
+#[test]
+fn twenty_eight_qubit_wrong_key_rejected_at_the_raised_stimulus_cap() {
+    // ISSUE 4 acceptance: the stimulus tier inherits the raised
+    // statevector cap (26 → 28 qubits) and certifies a wrong-key
+    // witness on a register the dense engines cannot touch. One worker
+    // owns the 2²⁸-amplitude miter (4 GiB per state); the parallelism
+    // lives inside qsim's chunked kernels.
+    let n = 28u32;
+    assert_eq!(
+        qverify::MAX_STIMULUS_QUBITS,
+        n,
+        "stimulus cap must track qsim"
+    );
+    let c = random_reversible(&RandomCircuitConfig::new(n, 16, 3));
+    let obf = Obfuscator::new().with_seed(6).obfuscate(&c);
+    let split = obf.split(19);
+    let bad = wrong_key_recombination(&split).expect("right segment spans ≥2 wires");
+    assert!(
+        sampled_divergence(&c, &bad) > 0,
+        "chosen seeds must yield a functionally wrong key"
+    );
+    // Two trials configured; the witness lands on the first, so only
+    // one 28-qubit miter replay actually runs.
+    let verifier = Verifier::new().with_trials(2).with_threads(1).with_seed(41);
+    let report = verifier.check_report(&c, &bad);
+    assert_eq!(report.tier, Tier::Stimulus, "{report}");
+    let Verdict::Inequivalent {
+        witness: Witness::Stimulus { fidelity, .. },
+    } = report.verdict
+    else {
+        panic!("expected a stimulus witness, got {}", report.verdict);
+    };
+    assert!(fidelity < 1.0 - 1e-9);
 }
 
 #[test]
