@@ -54,7 +54,8 @@ fn bench_tiers_on_revlib(c: &mut Criterion) {
 /// The ZX tier on Clifford+T round-trip pairs past the statevector
 /// cap — the regime where it is the *only* exact decision procedure —
 /// plus the stall cost on a corrupted candidate (the price of falling
-/// through to a lower tier).
+/// through to a lower tier) and the witness cost on a wrong-key
+/// reversible pair (reduction + replay-confirmed basis witness).
 fn bench_zx_clifford_t(c: &mut Criterion) {
     let mut group = c.benchmark_group("qverify_zx");
     group.sample_size(10);
@@ -72,8 +73,14 @@ fn bench_zx_clifford_t(c: &mut Criterion) {
                     .expect("round-trip miter reduces")
             });
         });
-        let mut corrupted = pair.1.clone();
+        // The corrupted restore's residue is *diagonal* (a stray T
+        // prefixed to the restore, so it is not conjugated into a
+        // basis-visible residue), hence no basis witness exists and the
+        // tier must decline — the worst case: full reduction paid,
+        // nothing decided.
+        let mut corrupted = Circuit::new(n);
         corrupted.t(0);
+        corrupted.compose(&pair.1).expect("same register");
         group.bench_with_input(
             BenchmarkId::new("stall", n),
             &(pair.0.clone(), corrupted),
@@ -81,6 +88,22 @@ fn bench_zx_clifford_t(c: &mut Criterion) {
                 b.iter(|| assert!(verifier.check_zx(orig, bad).is_none()));
             },
         );
+        // A wrong-key reversible pair at the same width: the residue is
+        // basis-visible and the bit replay confirms a witness — exact
+        // rejection at widths where (n ≥ 30) no simulation tier exists.
+        let wrong = {
+            let orig =
+                qcir::random::random_reversible(&qcir::random::RandomCircuitConfig::new(n, 24, 12));
+            let mut bad = orig.clone();
+            bad.x(n / 2);
+            (orig, bad)
+        };
+        group.bench_with_input(BenchmarkId::new("witness", n), &wrong, |b, (orig, bad)| {
+            b.iter(|| {
+                let report = verifier.check_zx(orig, bad).expect("witness confirms");
+                assert!(report.verdict.is_inequivalent());
+            });
+        });
     }
     group.finish();
 }

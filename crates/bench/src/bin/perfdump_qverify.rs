@@ -1,0 +1,198 @@
+//! `perfdump_qverify` — machine-readable ZX-tier perf trajectory.
+//!
+//! Runs the ZX scaling suite — certify (Clifford+T restore round-trips
+//! at 20/30/40 qubits), stall (a corrupted restore whose diagonal
+//! residue cannot be witnessed, i.e. the price of falling through),
+//! and witness (wrong-key rejection via the replay-confirmed basis
+//! witness at 20/30 qubits, on both the bit-replay and the
+//! statevector-replay paths) — and writes `BENCH_qverify.json` with
+//! the median wall-clock per case, so the ZX tier's cost trajectory is
+//! recorded on every run instead of claimed once.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfdump_qverify            # full suite
+//! cargo run --release -p bench --bin perfdump_qverify -- --smoke # CI smoke
+//! cargo run --release -p bench --bin perfdump_qverify -- --out path.json
+//! ```
+//!
+//! The smoke suite (20-qubit cases only) finishes in seconds and is
+//! wired into CI so the emitter can never silently rot.
+
+use qcir::random::{random_reversible, RandomCircuitConfig};
+use qcir::Circuit;
+use qverify::{Verdict, Verifier};
+use std::time::Instant;
+use tetrislock::recombine::recombine;
+use tetrislock::Obfuscator;
+
+/// One timed case of the suite.
+struct CaseResult {
+    name: String,
+    qubits: u32,
+    gates: usize,
+    reps: usize,
+    median_ms: f64,
+    outcome: &'static str,
+}
+
+/// A Clifford+T ladder (the certify workload of `benches/qverify.rs`).
+fn clifford_t_ladder(n: u32) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n - 1 {
+        c.h(q).t(q).cx(q, q + 1);
+    }
+    c
+}
+
+/// Obfuscate→split→recombine round-trip pair for `c`.
+fn roundtrip_pair(c: &Circuit) -> (Circuit, Circuit) {
+    let obf = Obfuscator::new().with_seed(11).obfuscate(c);
+    let restored = recombine(&obf.split(3)).expect("recombination is total");
+    (c.clone(), restored)
+}
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_qverify.json")
+        .to_string();
+
+    let verifier = Verifier::new();
+    let widths: &[u32] = if smoke { &[20] } else { &[20, 30, 40] };
+    let reps = if smoke { 2 } else { 5 };
+    let mut cases: Vec<CaseResult> = Vec::new();
+
+    for &n in widths {
+        // certify: the round-trip miter fully reduces to the identity.
+        let (orig, restored) = roundtrip_pair(&clifford_t_ladder(n));
+        eprintln!("timing zx_certify_{n}q…");
+        let ms = median_ms(reps, || {
+            let report = verifier
+                .check_zx(&orig, &restored)
+                .expect("round-trip miter reduces");
+            assert!(report.verdict.is_equivalent());
+        });
+        cases.push(CaseResult {
+            name: format!("zx_certify_{n}q"),
+            qubits: n,
+            gates: orig.gate_count() + restored.gate_count(),
+            reps,
+            median_ms: ms,
+            outcome: "equivalent",
+        });
+
+        // stall: a corrupted restore with a diagonal residue — the ZX
+        // tier must pay the full reduction *and* decline to answer.
+        // The stray T is *prefixed* so the miter's residue is a bare
+        // diagonal T† at the boundary: an appended T would be
+        // conjugated by the restore, become basis-visible, and be
+        // (correctly!) witnessed at widths within the replay cap.
+        let mut corrupted = Circuit::new(n);
+        corrupted.t(0);
+        corrupted.compose(&restored).expect("same register");
+        eprintln!("timing zx_stall_{n}q…");
+        let ms = median_ms(reps, || {
+            assert!(verifier.check_zx(&orig, &corrupted).is_none());
+        });
+        cases.push(CaseResult {
+            name: format!("zx_stall_{n}q"),
+            qubits: n,
+            gates: orig.gate_count() + corrupted.gate_count(),
+            reps,
+            median_ms: ms,
+            outcome: "fall-through",
+        });
+    }
+
+    // witness (bit replay): a wrong-key reversible pair past the
+    // stimulus cap — previously Inconclusive, now rejected exactly.
+    let witness_widths: &[u32] = if smoke { &[20] } else { &[20, 30] };
+    for &n in witness_widths {
+        let orig = random_reversible(&RandomCircuitConfig::new(n, 24, 12));
+        let mut bad = orig.clone();
+        bad.x(n / 2);
+        eprintln!("timing zx_witness_bit_replay_{n}q…");
+        let ms = median_ms(reps, || {
+            let report = verifier.check_zx(&orig, &bad).expect("witness confirms");
+            assert!(matches!(report.verdict, Verdict::Inequivalent { .. }));
+        });
+        cases.push(CaseResult {
+            name: format!("zx_witness_bit_replay_{n}q"),
+            qubits: n,
+            gates: orig.gate_count() + bad.gate_count(),
+            reps,
+            median_ms: ms,
+            outcome: "inequivalent",
+        });
+    }
+
+    // witness (statevector replay): a non-classical residue within the
+    // statevector cap, confirmed by one basis replay of the miter.
+    {
+        let n = if smoke { 14 } else { 20 };
+        let mut orig = Circuit::new(n);
+        orig.t(0).tdg(0).swap(3, 7);
+        let bad = Circuit::new(n);
+        eprintln!("timing zx_witness_basis_replay_{n}q…");
+        let ms = median_ms(reps, || {
+            let report = verifier.check_zx(&orig, &bad).expect("witness confirms");
+            assert!(matches!(report.verdict, Verdict::Inequivalent { .. }));
+        });
+        cases.push(CaseResult {
+            name: format!("zx_witness_basis_replay_{n}q"),
+            qubits: n,
+            gates: orig.gate_count(),
+            reps,
+            median_ms: ms,
+            outcome: "inequivalent",
+        });
+    }
+
+    let json = render_json(&cases, smoke);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out}");
+}
+
+fn render_json(cases: &[CaseResult], smoke: bool) -> String {
+    let mut body = String::new();
+    for (i, case) in cases.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, \"reps\": {}, \
+             \"median_ms\": {:.4}, \"outcome\": \"{}\"}}{}\n",
+            case.name,
+            case.qubits,
+            case.gates,
+            case.reps,
+            case.median_ms,
+            case.outcome,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    format!(
+        "{{\n  \"suite\": \"qverify_zx\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n  \
+         \"engine\": {{\"max_mcx_controls\": {}, \"stimulus_cap_qubits\": {}, \
+         \"dyadic_grid_log\": {}}},\n  \"cases\": [\n{body}  ]\n}}\n",
+        qverify::MAX_MCX_CONTROLS,
+        qverify::MAX_STIMULUS_QUBITS,
+        qverify::DYADIC_GRID_LOG,
+    )
+}

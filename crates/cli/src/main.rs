@@ -327,10 +327,15 @@ Tier selection — the cheapest applicable decision procedure wins:
                  them, incl. right-angle rotations). Exact at hundreds
                  of qubits via stabilizer conjugation of the miter.
   zx-calculus    any gate set, any register size. The miter C2^dag*C1 is
-                 reduced by ZX graph rewriting; full reduction to bare
-                 wires is an exact equivalence proof. One-sided: a
-                 stalled reduction proves nothing and falls through —
-                 this tier never reports inequivalence.
+                 reduced by ZX graph rewriting over exact phases (no
+                 float tolerance); full reduction to bare wires is an
+                 exact equivalence proof. Two-sided: a stalled residue
+                 can also certify INEQUIVALENCE, but only through a
+                 replay-confirmed basis witness — a bit-level replay of
+                 both circuits (classical pairs, <= 63 wires) or one
+                 statevector basis replay (<= {stimulus} qubits). With no
+                 confirmed witness the stall proves nothing and falls
+                 through.
   dense-unitary  <= {dense} qubits. Exact full-unitary comparison; produces
                  a concrete witness (basis column or relative phase) on
                  failure.

@@ -13,7 +13,7 @@
 //! |---|---|---|---|
 //! | [`Tier::Classical`] | both circuits are classical reversible, ≤ [`CLASSICAL_EXHAUSTIVE_MAX_QUBITS`] qubits | `O(2ⁿ·gates)` bit ops | exact (exhaustive) |
 //! | [`Tier::Tableau`] | both circuits are Clifford | `O(n·gates)` words | exact (stabilizer) |
-//! | [`Tier::Zx`] | the miter diagram reduces to the identity | `O(gates²)` graph rewriting | exact, one-sided (never `Inequivalent`) |
+//! | [`Tier::Zx`] | the miter diagram reduces to the identity, or its residue yields a replay-confirmed basis witness | `O(gates²)` graph rewriting (+ one replay) | exact, two-sided |
 //! | [`Tier::Dense`] | ≤ [`MAX_UNITARY_QUBITS`] qubits | `O(4ⁿ·gates)` | exact (full unitary) |
 //! | [`Tier::Stimulus`] | ≤ [`MAX_STIMULUS_QUBITS`] qubits | `O(trials·2ⁿ·gates)`, parallel | statistical (miter) |
 //!
@@ -21,16 +21,24 @@
 //! conjugates the `2n` Pauli generators through `C₂†C₁` in `O(n)` per
 //! gate and accepts iff every generator returns to itself with positive
 //! sign — exact for Clifford circuits at hundreds of qubits. The **ZX**
-//! tier translates the miter `C₂†C₁` into a spider graph and rewrites it
-//! with spider fusion, identity removal, Hadamard-edge cancellation,
-//! local complementation and pivoting; full reduction to bare wires is
-//! an exact proof of equivalence with no dense state and no qubit cap,
-//! which is what certifies Clifford+T round-trips past every simulation
-//! tier. A stalled reduction proves nothing and falls through. The
-//! **stimulus** tier builds the same miter but runs it on randomized
-//! product-state inputs (seeded, reproducible) in parallel batches
-//! across threads; any input that fails to return to itself is a
-//! concrete counterexample [`Witness::Stimulus`].
+//! tier translates the miter `C₂†C₁` into a spider graph — every spider
+//! phase an exact dyadic-plus-symbolic [`Phase`], so no rewrite ever
+//! fires on a float tolerance — and rewrites it with spider fusion,
+//! identity removal, Hadamard-edge cancellation, local complementation,
+//! pivoting, phase-gadget moves and phase-polynomial completion. Full
+//! reduction to bare wires is an exact proof of equivalence with no
+//! dense state and no qubit cap, which is what certifies Clifford+T
+//! round-trips past every simulation tier. A *stalled* reduction proves
+//! nothing by itself, but its residue proposes candidate basis inputs;
+//! a candidate confirmed by an independent replay — classical bit
+//! evaluation for reversible circuits up to 63 wires, or one `qsim` basis
+//! replay within the statevector cap — certifies **inequivalence** with
+//! a concrete [`Witness::BasisInput`]/[`Witness::BasisColumn`]. With no
+//! confirmed candidate the tier falls through. The **stimulus** tier
+//! builds the same miter but runs it on randomized product-state inputs
+//! (seeded, reproducible) in parallel batches across threads; any input
+//! that fails to return to itself is a concrete counterexample
+//! [`Witness::Stimulus`].
 //!
 //! # Example
 //!
@@ -62,6 +70,7 @@ mod stimulus;
 mod tableau;
 mod zx;
 
+pub use zx::phase::{Phase, DYADIC_GRID_LOG};
 pub use zx::MAX_MCX_CONTROLS;
 
 use qcir::Circuit;
@@ -85,8 +94,10 @@ pub enum Tier {
     Classical,
     /// Aaronson–Gottesman stabilizer tableau.
     Tableau,
-    /// ZX-calculus miter reduction: exact, no qubit cap, one-sided
-    /// (only ever produces [`Verdict::Equivalent`]).
+    /// ZX-calculus miter reduction: exact, no qubit cap, two-sided —
+    /// full reduction certifies [`Verdict::Equivalent`]; a stalled
+    /// residue can certify [`Verdict::Inequivalent`], but only through
+    /// a replay-confirmed basis witness.
     Zx,
     /// Dense full-unitary extraction (the ≤ [`MAX_UNITARY_QUBITS`]-qubit
     /// fallback).
@@ -118,7 +129,10 @@ pub enum Witness {
         /// Register of the second circuit.
         right: u32,
     },
-    /// A basis input the two classical circuits map differently.
+    /// A basis input the two classical circuits map differently
+    /// (classical tier, or a ZX residue confirmed by bit-level replay
+    /// — exact at any register width the `u64` basis encoding covers,
+    /// ≤ 63 wires).
     BasisInput {
         /// The diverging basis input.
         input: u64,
@@ -128,7 +142,8 @@ pub enum Witness {
         right_output: u64,
     },
     /// A basis input whose output states have overlap below 1 (dense
-    /// tier).
+    /// tier, or a ZX residue confirmed by one statevector basis replay
+    /// of the miter).
     BasisColumn {
         /// The diverging basis input (unitary column).
         input: u64,
@@ -396,6 +411,38 @@ impl Verifier {
     /// assert!(report.verdict.is_equivalent());
     /// assert_eq!(report.confidence(), 1.0);
     /// ```
+    ///
+    /// The mirror image at the same width: a 30-qubit reversible pair
+    /// under a *wrong key* (here: a stray inverter) is past the
+    /// classical-exhaustive, dense **and** stimulus caps, yet the ZX
+    /// tier rejects it exactly — the stalled miter residue proposes a
+    /// basis input, and a bit-level replay of both circuits confirms it
+    /// as a [`Witness::BasisInput`]:
+    ///
+    /// ```
+    /// use qcir::Circuit;
+    /// use qverify::{Tier, Verdict, Verifier, Witness};
+    ///
+    /// let mut a = Circuit::new(30);
+    /// for q in 0..28 {
+    ///     a.cx(q, q + 1).ccx(q, q + 1, q + 2);
+    /// }
+    /// let mut b = a.clone();
+    /// b.x(12); // wrong key: one stray inverter
+    /// let report = Verifier::new().check_report(&a, &b);
+    /// assert_eq!(report.tier, Tier::Zx);
+    /// let Verdict::Inequivalent {
+    ///     witness: Witness::BasisInput { input, left_output, right_output },
+    /// } = report.verdict
+    /// else {
+    ///     panic!("expected a replay-confirmed basis witness");
+    /// };
+    /// // The witness is independently checkable with plain bit ops.
+    /// assert_eq!(revlib::classical_eval(&a, input as usize).unwrap() as u64, left_output);
+    /// assert_eq!(revlib::classical_eval(&b, input as usize).unwrap() as u64, right_output);
+    /// assert_ne!(left_output, right_output);
+    /// assert_eq!(report.confidence(), 1.0);
+    /// ```
     pub fn check(&self, original: &Circuit, candidate: &Circuit) -> Verdict {
         self.check_report(original, candidate).verdict
     }
@@ -460,18 +507,25 @@ impl Verifier {
 
     /// Forces the ZX-calculus graph-rewriting tier.
     ///
-    /// Builds the miter `C₂†C₁` as a ZX spider graph and rewrites it
-    /// (spider fusion, identity removal, Hadamard-edge cancellation,
-    /// local complementation, pivoting) toward the bare-wire identity.
-    /// Returns `Some` — always [`Verdict::Equivalent`], with tier
-    /// [`Tier::Zx`] — iff the diagram fully reduces, which is an exact
-    /// proof with no qubit cap. Returns `None` when the registers
-    /// mismatch, a gate does not translate (an [`qcir::Gate::Mcx`] with
-    /// more than [`MAX_MCX_CONTROLS`] controls), or rewriting stalls;
-    /// a stall carries **no** evidence of inequivalence, so this tier
-    /// can never report a false `Inequivalent` — it reports none at all.
+    /// Builds the miter `C₂†C₁` as a ZX spider graph — all phases exact
+    /// [`Phase`] values — and rewrites it (spider fusion, identity
+    /// removal, Hadamard-edge cancellation, local complementation,
+    /// pivoting, phase-gadget moves, phase-polynomial completion)
+    /// toward the bare-wire identity. Returns `Some(Equivalent)` with
+    /// tier [`Tier::Zx`] iff the diagram fully reduces — an exact proof
+    /// with no qubit cap. A stalled non-identity residue proposes
+    /// candidate basis inputs; if one is confirmed by an independent
+    /// replay (classical bit evaluation when both circuits are
+    /// reversible — up to 63 wires — or a single statevector basis replay
+    /// within [`MAX_STIMULUS_QUBITS`]), this returns
+    /// `Some(Inequivalent)` with that concrete witness. Returns `None`
+    /// when the registers mismatch, a gate does not translate (an
+    /// [`qcir::Gate::Mcx`] with more than [`MAX_MCX_CONTROLS`]
+    /// controls), or rewriting stalls with no replay-confirmed
+    /// candidate — a stall alone carries **no** evidence either way, so
+    /// an engine bug can cost completeness but never a false verdict.
     pub fn check_zx(&self, original: &Circuit, candidate: &Circuit) -> Option<Report> {
-        zx::check(original, candidate)
+        zx::check(original, candidate, self.eps)
     }
 
     /// Forces the dense-unitary tier (the exhaustive ≤
@@ -534,10 +588,11 @@ mod tests {
     use super::*;
 
     /// An *inequivalent* pair (`T` vs `T†`) on which the ZX tier must
-    /// stall — its miter is a lone non-Clifford wire spider no rule
-    /// touches, and ZX has no `Inequivalent` verdict anyway — so tier
-    /// selection falls through to the simulation tiers. Non-classical
-    /// and non-Clifford by construction.
+    /// fall through — its miter residue is a lone *diagonal* wire
+    /// spider, which fixes every basis ray, so no basis witness can be
+    /// replay-confirmed — and tier selection falls through to the
+    /// simulation tiers. Non-classical and non-Clifford by
+    /// construction.
     fn zx_stalling_pair(n: u32) -> (Circuit, Circuit) {
         let mut a = Circuit::new(n);
         a.t(0);
@@ -669,10 +724,10 @@ mod tests {
     }
 
     #[test]
-    fn zx_tier_never_reports_inequivalent() {
-        // A genuinely different pair: check_zx must return None (stall),
-        // and the full dispatch must produce the witness from a lower
-        // tier, never from Tier::Zx.
+    fn zx_tier_never_guesses_on_diagonal_residues() {
+        // A genuinely different pair whose residue is diagonal: no
+        // basis input can see it, so check_zx must return None and the
+        // full dispatch must produce the witness from a lower tier.
         let mut a = Circuit::new(2);
         a.t(0);
         let mut b = Circuit::new(2);
@@ -682,6 +737,34 @@ mod tests {
         let report = verifier.check_report(&a, &b);
         assert!(report.verdict.is_inequivalent());
         assert_ne!(report.tier, Tier::Zx);
+    }
+
+    #[test]
+    fn zx_tier_witnesses_wide_wrong_key_pairs_exactly() {
+        // A 30-qubit reversible pair differing by one stray X: past the
+        // classical-exhaustive, dense and stimulus caps, previously
+        // Inconclusive. The ZX tier now rejects it with a bit-replay
+        // witness, through the normal dispatch.
+        let n = 30u32;
+        let mut a = Circuit::new(n);
+        for q in 0..n - 2 {
+            a.cx(q, q + 1).ccx(q, q + 1, q + 2);
+        }
+        assert!(n > MAX_STIMULUS_QUBITS);
+        let mut b = a.clone();
+        b.x(12);
+        let report = Verifier::new().check_report(&a, &b);
+        assert_eq!(report.tier, Tier::Zx, "{report}");
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Inequivalent {
+                    witness: Witness::BasisInput { .. }
+                }
+            ),
+            "{report}"
+        );
+        assert_eq!(report.confidence(), 1.0);
     }
 
     #[test]

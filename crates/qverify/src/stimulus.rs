@@ -113,6 +113,33 @@ pub(crate) fn check(
     })
 }
 
+/// Replays one computational-basis input through the miter `C₂†C₁` and
+/// returns `Some(overlap)` — with `overlap = |⟨x|C₂†C₁|x⟩| < 1 − eps` —
+/// when the input provably distinguishes the circuits, `None` when this
+/// input cannot tell them apart. Equivalent circuits return every basis
+/// ray to itself up to phase, so a confirmed deficit is exact evidence.
+///
+/// This is the certification half of the ZX tier's witness extraction
+/// (`zx::witness`): the graph reduction only *proposes* basis inputs,
+/// and this replay — which never looks at the ZX graph — is what turns
+/// a proposal into a [`Witness::BasisColumn`]. One statevector suffices
+/// (the miter is applied in place), so the replay is cheaper than a
+/// single stimulus trial.
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] past the statevector cap.
+pub(crate) fn basis_refutation(
+    miter: &Circuit,
+    input: u64,
+    eps: f64,
+) -> Result<Option<f64>, SimError> {
+    let mut state = Statevector::basis(miter.num_qubits(), input as usize)?;
+    state.apply_circuit(miter)?;
+    let overlap = state.amplitudes()[input as usize].abs();
+    Ok((overlap < 1.0 - eps).then_some(overlap))
+}
+
 /// Worker count: requested (or available parallelism), capped by the
 /// trial count and by a per-register memory budget — each worker owns
 /// two `2ⁿ`-amplitude statevectors, so wide registers get fewer
@@ -139,7 +166,9 @@ fn effective_workers(threads: usize, trials: u64, num_qubits: u32) -> usize {
 
 /// SplitMix64-style mixing of the base seed with the trial index, so
 /// each trial draws an independent, reproducible preparation layer.
-fn mix(seed: u64, trial: u64) -> u64 {
+/// Also reused by the ZX witness extraction for its classical probe
+/// stream (`zx::witness`).
+pub(crate) fn mix(seed: u64, trial: u64) -> u64 {
     let mut z = seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(trial.wrapping_mul(0xBF58_476D_1CE4_E5B9));

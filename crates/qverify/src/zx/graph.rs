@@ -3,6 +3,11 @@
 //! A [`Diagram`] is an open graph: `Boundary` vertices mark the circuit's
 //! inputs and outputs, interior vertices are phase-carrying Z or X
 //! spiders, and every edge is either a plain wire or a Hadamard edge.
+//! Spider phases are exact [`Phase`] values (dyadic multiples of π plus
+//! symbolic atoms — see [`super::phase`]), so every structural question
+//! the rewrite engine asks is decided by integer arithmetic with no
+//! float tolerance anywhere.
+//!
 //! The representation is a *simple* graph — at most one edge per vertex
 //! pair — because every situation that would create a parallel edge or a
 //! self-loop resolves immediately through a sound local rule:
@@ -19,50 +24,8 @@
 //! All rules hold up to a non-zero scalar factor, which is exactly the
 //! "equal up to global phase" equivalence the verifier decides.
 
+use super::phase::Phase;
 use std::collections::BTreeMap;
-use std::f64::consts::{PI, TAU};
-
-/// Tolerance for phase comparisons (radians). Matches the order of the
-/// Clifford-recognition tolerance in [`crate::clifford`].
-pub(crate) const PHASE_EPS: f64 = 1e-9;
-
-/// Normalizes an angle into `[0, 2π)`, snapping values within
-/// [`PHASE_EPS`] of a full turn to exactly `0.0`.
-pub(crate) fn pnorm(angle: f64) -> f64 {
-    let t = angle.rem_euclid(TAU);
-    if (PHASE_EPS..=TAU - PHASE_EPS).contains(&t) {
-        t
-    } else {
-        0.0
-    }
-}
-
-/// `true` if the normalized phase is 0 (mod 2π).
-pub(crate) fn phase_is_zero(p: f64) -> bool {
-    p.abs() < PHASE_EPS
-}
-
-/// `true` if the normalized phase is π.
-pub(crate) fn phase_is_pi(p: f64) -> bool {
-    (p - PI).abs() < PHASE_EPS
-}
-
-/// `true` if the normalized phase is 0 or π (a Pauli spider).
-pub(crate) fn phase_is_pauli(p: f64) -> bool {
-    phase_is_zero(p) || phase_is_pi(p)
-}
-
-/// `Some(±1)` if the normalized phase is ±π/2 (a proper Clifford
-/// spider), `None` otherwise.
-pub(crate) fn phase_half_turn_sign(p: f64) -> Option<f64> {
-    if (p - PI / 2.0).abs() < PHASE_EPS {
-        Some(1.0)
-    } else if (p - 3.0 * PI / 2.0).abs() < PHASE_EPS {
-        Some(-1.0)
-    } else {
-        None
-    }
-}
 
 /// Vertex kind: an open wire end, or a phase-carrying spider.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +72,7 @@ impl EdgeKind {
 #[derive(Debug, Clone)]
 pub(crate) struct Diagram {
     kind: Vec<VKind>,
-    phase: Vec<f64>,
+    phase: Vec<Phase>,
     adj: Vec<BTreeMap<usize, EdgeKind>>,
     alive: Vec<bool>,
     inputs: Vec<usize>,
@@ -134,11 +97,11 @@ impl Diagram {
             zero_scalar: false,
         };
         for _ in 0..n {
-            let v = d.add_vertex(VKind::Boundary, 0.0);
+            let v = d.add_vertex(VKind::Boundary, Phase::ZERO);
             d.inputs.push(v);
         }
         for _ in 0..n {
-            let v = d.add_vertex(VKind::Boundary, 0.0);
+            let v = d.add_vertex(VKind::Boundary, Phase::ZERO);
             d.outputs.push(v);
         }
         d
@@ -172,9 +135,9 @@ impl Diagram {
     }
 
     /// Allocates a fresh vertex.
-    pub(crate) fn add_vertex(&mut self, kind: VKind, phase: f64) -> usize {
+    pub(crate) fn add_vertex(&mut self, kind: VKind, phase: Phase) -> usize {
         self.kind.push(kind);
-        self.phase.push(pnorm(phase));
+        self.phase.push(phase);
         self.adj.push(BTreeMap::new());
         self.alive.push(true);
         self.kind.len() - 1
@@ -200,14 +163,20 @@ impl Diagram {
         self.alive[v] && self.kind[v] == VKind::Z
     }
 
-    /// The vertex's normalized phase.
-    pub(crate) fn phase(&self, v: usize) -> f64 {
-        self.phase[v]
+    /// The vertex's exact phase.
+    pub(crate) fn phase(&self, v: usize) -> &Phase {
+        &self.phase[v]
     }
 
-    /// Adds `delta` to the vertex's phase (normalized).
-    pub(crate) fn add_phase(&mut self, v: usize, delta: f64) {
-        self.phase[v] = pnorm(self.phase[v] + delta);
+    /// Adds `delta` to the vertex's phase (exact, mod 2π).
+    pub(crate) fn add_phase(&mut self, v: usize, delta: Phase) {
+        self.phase[v] += delta;
+    }
+
+    /// Overwrites the vertex's phase (gadget normalization, and the
+    /// phase-polynomial completion zeroing a canceled family).
+    pub(crate) fn set_phase(&mut self, v: usize, phase: Phase) {
+        self.phase[v] = phase;
     }
 
     /// The edge between `a` and `b`, if any.
@@ -276,7 +245,7 @@ impl Diagram {
                 // into a π phase — never delete connectivity, which could
                 // push a non-identity diagram toward a false certificate.
                 debug_assert!(false, "plain edge inside a complemented neighborhood");
-                self.add_phase(a, PI);
+                self.add_phase(a, Phase::pi());
             }
         }
     }
@@ -288,7 +257,7 @@ impl Diagram {
     pub(crate) fn merge_edge(&mut self, u: usize, n: usize, k: EdgeKind) {
         if u == n {
             if k == EdgeKind::Had {
-                self.add_phase(u, PI);
+                self.add_phase(u, Phase::pi());
             }
             return;
         }
@@ -300,9 +269,9 @@ impl Diagram {
             // the Hadamard edge then becomes a Hadamard self-loop = π.
             (Some(EdgeKind::Had), EdgeKind::Plain) => {
                 self.set_edge(u, n, EdgeKind::Plain);
-                self.add_phase(u, PI);
+                self.add_phase(u, Phase::pi());
             }
-            (Some(EdgeKind::Plain), EdgeKind::Had) => self.add_phase(u, PI),
+            (Some(EdgeKind::Plain), EdgeKind::Had) => self.add_phase(u, Phase::pi()),
             // Plain ∥ plain: fusing along one leaves a plain self-loop,
             // which disappears — identical to keeping a single edge.
             (Some(EdgeKind::Plain), EdgeKind::Plain) => {}
@@ -316,7 +285,7 @@ impl Diagram {
         debug_assert!(self.is_z(u) && self.is_z(v));
         debug_assert_eq!(self.edge(u, v), Some(EdgeKind::Plain));
         self.remove_edge(u, v);
-        let vphase = self.phase[v];
+        let vphase = self.phase[v].clone();
         self.add_phase(u, vphase);
         for (n, k) in self.neighbors(v) {
             self.remove_edge(v, n);
@@ -335,9 +304,15 @@ impl Diagram {
 
     /// Records that a rewrite ran into a would-be zero scalar; the
     /// diagram can no longer certify anything
-    /// ([`Diagram::is_identity`] returns `false` from then on).
+    /// ([`Diagram::is_identity`] returns `false` from then on, and
+    /// witness extraction refuses to read the structure).
     pub(crate) fn mark_zero_scalar(&mut self) {
         self.zero_scalar = true;
+    }
+
+    /// `true` if a rewrite ever ran into a would-be zero scalar.
+    pub(crate) fn has_zero_scalar(&self) -> bool {
+        self.zero_scalar
     }
 
     /// `true` iff the diagram is the identity on its wires up to a
@@ -392,8 +367,8 @@ mod tests {
     #[test]
     fn merge_edge_cancels_parallel_hadamards() {
         let mut d = Diagram::new(1);
-        let a = d.add_vertex(VKind::Z, 0.0);
-        let b = d.add_vertex(VKind::Z, 0.0);
+        let a = d.add_vertex(VKind::Z, Phase::ZERO);
+        let b = d.add_vertex(VKind::Z, Phase::ZERO);
         d.merge_edge(a, b, EdgeKind::Had);
         assert_eq!(d.edge(a, b), Some(EdgeKind::Had));
         d.merge_edge(a, b, EdgeKind::Had);
@@ -403,36 +378,44 @@ mod tests {
     #[test]
     fn hadamard_self_loop_adds_pi() {
         let mut d = Diagram::new(1);
-        let a = d.add_vertex(VKind::Z, 0.0);
+        let a = d.add_vertex(VKind::Z, Phase::ZERO);
         d.merge_edge(a, a, EdgeKind::Had);
-        assert!(phase_is_pi(d.phase(a)));
+        assert!(d.phase(a).is_pi());
         d.merge_edge(a, a, EdgeKind::Plain);
-        assert!(phase_is_pi(d.phase(a)));
+        assert!(d.phase(a).is_pi());
     }
 
     #[test]
-    fn fusion_adds_phases_and_transfers_edges() {
+    fn fusion_adds_phases_exactly_and_transfers_edges() {
         let mut d = Diagram::new(1);
-        let a = d.add_vertex(VKind::Z, 0.3);
-        let b = d.add_vertex(VKind::Z, 0.4);
-        let c = d.add_vertex(VKind::Z, 0.0);
+        let a = d.add_vertex(VKind::Z, Phase::from_radians(0.3));
+        let b = d.add_vertex(VKind::Z, Phase::from_radians(-0.3));
+        let c = d.add_vertex(VKind::Z, Phase::ZERO);
         d.connect(a, b, EdgeKind::Plain);
         d.connect(b, c, EdgeKind::Had);
         d.fuse(a, b);
         assert!(!d.is_alive(b));
-        assert!((d.phase(a) - 0.7).abs() < 1e-12);
+        // 0.3 + (−0.3) cancels *exactly* — no tolerance anywhere.
+        assert!(d.phase(a).is_zero());
         assert_eq!(d.edge(a, c), Some(EdgeKind::Had));
     }
 
     #[test]
-    fn phase_predicates() {
-        assert!(phase_is_zero(pnorm(TAU)));
-        assert!(phase_is_zero(pnorm(-1e-12)));
-        assert!(phase_is_pi(pnorm(-PI)));
-        assert_eq!(phase_half_turn_sign(pnorm(PI / 2.0)), Some(1.0));
-        assert_eq!(phase_half_turn_sign(pnorm(-PI / 2.0)), Some(-1.0));
-        assert_eq!(phase_half_turn_sign(pnorm(0.3)), None);
-        assert!(phase_is_pauli(pnorm(5.0 * PI)));
+    fn set_phase_overwrites() {
+        let mut d = Diagram::new(1);
+        let a = d.add_vertex(VKind::Z, Phase::dyadic(1, 2));
+        d.set_phase(a, Phase::ZERO);
+        assert!(d.phase(a).is_zero());
+    }
+
+    #[test]
+    fn zero_scalar_blocks_identity() {
+        let mut d = Diagram::new(1);
+        d.connect(d.inputs()[0], d.outputs()[0], EdgeKind::Plain);
+        assert!(d.is_identity());
+        d.mark_zero_scalar();
+        assert!(d.has_zero_scalar());
+        assert!(!d.is_identity());
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Exact spider-phase arithmetic for the ZX tier.
+//!
+//! PR 3's engine stored spider phases as `f64` radians and compared them
+//! with a `1e-9` tolerance — good enough to certify, but a standing
+//! soundness caveat: a tolerance that *accepts* can, in principle, also
+//! accept wrongly. This module removes the caveat. A [`Phase`] is an
+//! exact element of the circle group `ℝ/2πℤ`, written as
+//!
+//! ```text
+//!     num·π / 2^k   +   Σᵢ cᵢ·aᵢ           (mod 2π)
+//!     ─────────────     ────────
+//!     dyadic part       atom part
+//! ```
+//!
+//! * The **dyadic part** covers every phase the gate set produces
+//!   structurally — Pauli (π), Clifford (π/2), T (π/4), the `π/2^{m−1}`
+//!   parity-term angles of the `Mcx` expansion — as an integer numerator
+//!   over a power-of-two denominator, reduced mod 2π with pure integer
+//!   arithmetic. `8 × π/4` is *exactly* zero, not `≈ 6.28…`.
+//! * The **atom part** covers arbitrary-angle rotations (`Rz(0.3)`,
+//!   `U(θ,φ,λ)`, …). Each distinct angle magnitude is an opaque
+//!   generator ("atom") of a free abelian group, keyed by its `f64` bit
+//!   pattern, with an integer coefficient. `0.3 − 0.3` cancels to the
+//!   empty sum — exactly, with no epsilon — while `0.1 + 0.2` simply
+//!   stays symbolic instead of being float-collapsed to `0.3…`.
+//!
+//! Everything the rewrite engine asks of a phase — is it zero? is it
+//! π? is it ±π/2? — is decided by integer comparison, so no rewrite
+//! rule ever fires on a tolerance. The price is deliberate
+//! incompleteness: relations between *different* real angles
+//! (`0.1 + 0.2 = 0.3`) are invisible, the reduction stalls, and the
+//! verifier falls through to a simulation tier — a sound trade, since a
+//! stall proves nothing.
+//!
+//! Constructors classify an incoming `f64` angle onto the dyadic grid
+//! only on **bit-exact** equality with `m·(π/2^k)` (see
+//! [`Phase::from_radians`]); there is no snapping window.
+
+use std::collections::BTreeMap;
+use std::f64::consts::PI;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg};
+
+/// Largest `k` probed when classifying a raw radian angle onto the
+/// dyadic grid `m·π/2^k` (bit-exact match only). `2^8`-th roots cover
+/// every structural angle the workspace gate set emits — T gates need
+/// `k = 2`, the widest accepted `Mcx` parity expansion needs
+/// `k =` [`crate::MAX_MCX_CONTROLS`] — with headroom for hand-written
+/// `Rz(π/128)`-style circuits.
+pub const DYADIC_GRID_LOG: u32 = 8;
+
+/// An exact phase in `ℝ/2πℤ`: a dyadic multiple of π plus an integer
+/// combination of opaque real "atoms".
+///
+/// All arithmetic ([`Add`], [`Neg`], [`Sum`]) and every predicate
+/// ([`Phase::is_zero`], [`Phase::is_pi`], …) is exact integer
+/// arithmetic — no float comparison, no tolerance.
+///
+/// # Examples
+///
+/// Dyadic phases reduce mod 2π exactly — eight T-gate phases make a
+/// full turn:
+///
+/// ```
+/// use qverify::Phase;
+/// use std::f64::consts::FRAC_PI_4;
+///
+/// let t = Phase::from_radians(FRAC_PI_4);
+/// let full_turn: Phase = std::iter::repeat_n(t.clone(), 8).sum();
+/// assert!(full_turn.is_zero());
+/// let s = t.clone() + t;
+/// assert_eq!(s, Phase::from_radians(std::f64::consts::FRAC_PI_2));
+/// assert_eq!(s.half_turn_sign(), Some(1));
+/// ```
+///
+/// Arbitrary angles stay symbolic, and mirrored pairs cancel exactly
+/// (this is what lets a miter's `Rz(θ)`/`Rz(−θ)` meet with no
+/// tolerance):
+///
+/// ```
+/// use qverify::Phase;
+///
+/// let a = Phase::from_radians(0.3);
+/// assert!(!a.is_zero());
+/// assert!((a.clone() + (-a)).is_zero());
+/// ```
+///
+/// Relations *between* distinct angles are deliberately invisible — the
+/// sum below is nonzero as a formal object even though the real values
+/// cancel to ~1e-17, so the rewrite engine stalls (soundly) instead of
+/// guessing:
+///
+/// ```
+/// use qverify::Phase;
+///
+/// let formal = Phase::from_radians(0.1) + Phase::from_radians(0.2)
+///     + (-Phase::from_radians(0.30000000000000004));
+/// assert!(!formal.is_zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Phase {
+    /// Numerator of the dyadic part: the phase contributes
+    /// `num·π/2^k`, kept normalized to `0 ≤ num < 2^{k+1}` with `num`
+    /// odd unless `k == 0`.
+    num: i64,
+    /// Log-denominator of the dyadic part.
+    k: u32,
+    /// Atom part: bit pattern of a positive finite `f64` angle → its
+    /// (non-zero) integer coefficient.
+    atoms: BTreeMap<u64, i64>,
+}
+
+impl Phase {
+    /// The zero phase.
+    pub const ZERO: Phase = Phase {
+        num: 0,
+        k: 0,
+        atoms: BTreeMap::new(),
+    };
+
+    /// The half-turn phase π (a Pauli-Z spider).
+    pub fn pi() -> Phase {
+        Phase::dyadic(1, 0)
+    }
+
+    /// The exact dyadic phase `num·π/2^k`, reduced mod 2π.
+    ///
+    /// ```
+    /// use qverify::Phase;
+    ///
+    /// assert_eq!(Phase::dyadic(9, 2), Phase::dyadic(1, 2)); // 9π/4 ≡ π/4
+    /// assert_eq!(Phase::dyadic(-1, 1), Phase::dyadic(3, 1)); // −π/2 ≡ 3π/2
+    /// assert!(Phase::dyadic(4, 1).is_zero()); // 2π ≡ 0
+    /// ```
+    pub fn dyadic(num: i64, k: u32) -> Phase {
+        // The mod-2π modulus is 2^{k+1} (in units of π/2^k), which must
+        // fit in i64 — so k ≤ 61, far above any translation denominator
+        // (classification stops at DYADIC_GRID_LOG = 8).
+        assert!(k <= 61, "dyadic denominator 2^{k} out of range");
+        let mut p = Phase {
+            num: num.rem_euclid(2i64 << k),
+            k,
+            atoms: BTreeMap::new(),
+        };
+        p.reduce();
+        p
+    }
+
+    /// Classifies a raw radian angle: a **bit-exact** match with some
+    /// `m·(π/2^k)` for `k ≤` [`DYADIC_GRID_LOG`] becomes the exact
+    /// dyadic phase; anything else becomes a single opaque atom. There
+    /// is no tolerance window — `std::f64::consts::FRAC_PI_4` is
+    /// recognized as exactly π/4 (it is the one `f64` the constant
+    /// folding of `π/2^k` produces), while an angle one ULP away is a
+    /// distinct symbolic atom.
+    pub fn from_radians(angle: f64) -> Phase {
+        if angle.is_finite() {
+            for k in 0..=DYADIC_GRID_LOG {
+                let base = PI / f64::from(1u32 << k);
+                let m = (angle / base).round();
+                if m.abs() < 1e15 && m * base == angle {
+                    return Phase::dyadic(m as i64, k);
+                }
+            }
+        }
+        let mut atoms = BTreeMap::new();
+        atoms.insert(angle.abs().to_bits(), if angle < 0.0 { -1 } else { 1 });
+        Phase {
+            num: 0,
+            k: 0,
+            atoms,
+        }
+    }
+
+    /// Restores the invariants after raw numerator arithmetic.
+    fn reduce(&mut self) {
+        debug_assert!(self.num >= 0 && self.num < (2i64 << self.k));
+        while self.k > 0 && self.num % 2 == 0 {
+            self.num /= 2;
+            self.k -= 1;
+        }
+    }
+
+    /// `true` iff the phase is exactly 0 (mod 2π).
+    pub fn is_zero(&self) -> bool {
+        self.num == 0 && self.atoms.is_empty()
+    }
+
+    /// `true` iff the phase is exactly π.
+    pub fn is_pi(&self) -> bool {
+        self.num == 1 && self.k == 0 && self.atoms.is_empty()
+    }
+
+    /// `true` iff the phase is exactly 0 or π (a Pauli spider).
+    pub fn is_pauli(&self) -> bool {
+        self.k == 0 && self.atoms.is_empty()
+    }
+
+    /// `Some(+1)` for exactly π/2, `Some(−1)` for exactly 3π/2 (= −π/2)
+    /// — the proper-Clifford spiders local complementation removes —
+    /// `None` otherwise.
+    pub fn half_turn_sign(&self) -> Option<i32> {
+        if self.k == 1 && self.atoms.is_empty() {
+            match self.num {
+                1 => Some(1),
+                3 => Some(-1),
+                _ => unreachable!("normalized k=1 numerator is odd mod 4"),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// The nearest `f64` radian value in `[0, 2π)` — **lossy**, for
+    /// display and cross-checks against the float-based tiers only;
+    /// never used inside the rewrite engine.
+    pub fn to_radians(&self) -> f64 {
+        let dyadic = self.num as f64 * PI / f64::from(1u32 << self.k.min(31));
+        let atoms: f64 = self
+            .atoms
+            .iter()
+            .map(|(&bits, &c)| c as f64 * f64::from_bits(bits))
+            .sum();
+        (dyadic + atoms).rem_euclid(2.0 * PI)
+    }
+}
+
+impl Add for Phase {
+    type Output = Phase;
+
+    fn add(mut self, rhs: Phase) -> Phase {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Phase {
+    fn add_assign(&mut self, rhs: Phase) {
+        let k = self.k.max(rhs.k);
+        let num = (self.num << (k - self.k)) + (rhs.num << (k - rhs.k));
+        self.num = num.rem_euclid(2i64 << k);
+        self.k = k;
+        self.reduce();
+        for (bits, c) in rhs.atoms {
+            let entry = self.atoms.entry(bits).or_insert(0);
+            *entry += c;
+            if *entry == 0 {
+                self.atoms.remove(&bits);
+            }
+        }
+    }
+}
+
+impl Neg for Phase {
+    type Output = Phase;
+
+    fn neg(mut self) -> Phase {
+        self.num = (-self.num).rem_euclid(2i64 << self.k);
+        self.reduce();
+        for c in self.atoms.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl Sum for Phase {
+    fn sum<I: Iterator<Item = Phase>>(iter: I) -> Phase {
+        iter.fold(Phase::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        if self.num != 0 {
+            first = false;
+            match (self.num, self.k) {
+                (1, 0) => f.write_str("π")?,
+                (1, k) => write!(f, "π/{}", 1u64 << k)?,
+                (n, 0) => write!(f, "{n}π")?,
+                (n, k) => write!(f, "{n}π/{}", 1u64 << k)?,
+            }
+        }
+        for (&bits, &c) in &self.atoms {
+            let value = f64::from_bits(bits);
+            if first {
+                first = false;
+                if c == 1 {
+                    write!(f, "{value}")?;
+                } else if c == -1 {
+                    write!(f, "-{value}")?;
+                } else {
+                    write!(f, "{c}·{value}")?;
+                }
+            } else if c == 1 {
+                write!(f, " + {value}")?;
+            } else if c == -1 {
+                write!(f, " - {value}")?;
+            } else if c > 0 {
+                write!(f, " + {c}·{value}")?;
+            } else {
+                write!(f, " - {}·{value}", -c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Phase({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, TAU};
+
+    #[test]
+    fn structural_constants_classify_onto_the_dyadic_grid() {
+        assert_eq!(Phase::from_radians(PI), Phase::pi());
+        assert_eq!(Phase::from_radians(FRAC_PI_2), Phase::dyadic(1, 1));
+        assert_eq!(Phase::from_radians(FRAC_PI_4), Phase::dyadic(1, 2));
+        assert_eq!(Phase::from_radians(-FRAC_PI_4), Phase::dyadic(7, 2));
+        assert_eq!(Phase::from_radians(PI / 64.0), Phase::dyadic(1, 6));
+        assert!(Phase::from_radians(0.0).is_zero());
+        assert!(Phase::from_radians(-0.0).is_zero());
+        assert!(Phase::from_radians(TAU).is_zero());
+    }
+
+    #[test]
+    fn near_grid_angles_are_atoms_not_snapped() {
+        // One ULP off π/4: the float tier's 1e-9 window would have
+        // snapped it; the exact tier keeps it symbolic.
+        let off = f64::from_bits(FRAC_PI_4.to_bits() + 1);
+        let p = Phase::from_radians(off);
+        assert_ne!(p, Phase::dyadic(1, 2));
+        assert!(!p.is_pauli());
+        assert!((p + Phase::from_radians(-off)).is_zero());
+    }
+
+    #[test]
+    fn dyadic_arithmetic_is_exact_mod_two_pi() {
+        let t = Phase::dyadic(1, 2);
+        let sum: Phase = std::iter::repeat_n(t.clone(), 8).sum();
+        assert!(sum.is_zero());
+        let seven: Phase = std::iter::repeat_n(t, 7).sum();
+        assert_eq!(seven, Phase::dyadic(7, 2));
+        assert_eq!(-Phase::dyadic(1, 2), Phase::dyadic(7, 2));
+        assert_eq!(
+            Phase::dyadic(1, 0) + Phase::dyadic(1, 1),
+            Phase::dyadic(3, 1)
+        );
+    }
+
+    #[test]
+    fn predicates_are_integer_decisions() {
+        assert!(Phase::ZERO.is_zero());
+        assert!(Phase::ZERO.is_pauli());
+        assert!(Phase::pi().is_pi());
+        assert!(Phase::pi().is_pauli());
+        assert!(!Phase::dyadic(1, 1).is_pauli());
+        assert_eq!(Phase::dyadic(1, 1).half_turn_sign(), Some(1));
+        assert_eq!(Phase::dyadic(3, 1).half_turn_sign(), Some(-1));
+        assert_eq!(Phase::dyadic(-1, 1).half_turn_sign(), Some(-1));
+        assert_eq!(Phase::dyadic(1, 2).half_turn_sign(), None);
+        assert_eq!(Phase::pi().half_turn_sign(), None);
+        assert_eq!((Phase::from_radians(0.7)).half_turn_sign(), None);
+    }
+
+    #[test]
+    fn atoms_cancel_exactly_and_scale_by_integers() {
+        let a = Phase::from_radians(0.3);
+        let b = Phase::from_radians(-0.3);
+        assert!((a.clone() + b).is_zero());
+        let doubled = a.clone() + a.clone();
+        assert!(!doubled.is_zero());
+        assert!((doubled + Phase::from_radians(-0.3) + Phase::from_radians(-0.3)).is_zero());
+        // Mixed dyadic + atom: the parts cancel independently.
+        let mixed = Phase::dyadic(1, 2) + a;
+        assert!(!mixed.is_zero());
+        assert!(!mixed.is_pauli());
+        assert!((mixed + Phase::dyadic(-1, 2) + Phase::from_radians(-0.3)).is_zero());
+    }
+
+    #[test]
+    fn distinct_angles_do_not_alias() {
+        // 0.1 + 0.2 is formally ≠ 0.3 even though the reals are ~equal:
+        // exactness over completeness.
+        let sum = Phase::from_radians(0.1) + Phase::from_radians(0.2);
+        assert_ne!(sum, Phase::from_radians(0.1 + 0.2));
+        assert!(!(sum + (-Phase::from_radians(0.30000000000000004))).is_zero());
+    }
+
+    #[test]
+    fn to_radians_round_trips_within_float_error() {
+        for p in [
+            Phase::dyadic(1, 0),
+            Phase::dyadic(3, 1),
+            Phase::dyadic(5, 3),
+            Phase::from_radians(1.234),
+            Phase::dyadic(1, 2) + Phase::from_radians(0.5),
+        ] {
+            let r = p.to_radians();
+            assert!((0.0..TAU).contains(&r), "{p}: {r}");
+        }
+        assert!((Phase::dyadic(1, 2).to_radians() - FRAC_PI_4).abs() < 1e-15);
+        assert!((Phase::from_radians(-0.25).to_radians() - (TAU - 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Phase::ZERO.to_string(), "0");
+        assert_eq!(Phase::pi().to_string(), "π");
+        assert_eq!(Phase::dyadic(1, 2).to_string(), "π/4");
+        assert_eq!(Phase::dyadic(3, 1).to_string(), "3π/2");
+        assert_eq!(Phase::from_radians(0.5).to_string(), "0.5");
+        assert_eq!(Phase::from_radians(-0.5).to_string(), "-0.5");
+        assert_eq!(
+            (Phase::pi() + Phase::from_radians(0.5)).to_string(),
+            "π + 0.5"
+        );
+        assert_eq!(
+            (Phase::from_radians(-0.5) + Phase::from_radians(-0.5)).to_string(),
+            "-2·0.5"
+        );
+    }
+}

@@ -24,23 +24,39 @@
 //!    disappears (see [`gadget_pass`]);
 //! 7. **boundary pivot** and **pivot-gadget** — vertex-*creating*
 //!    enablers that unblock pivoting next to boundaries and next to
-//!    non-Pauli phases; metered so they cannot ping-pong forever.
+//!    non-Pauli phases; metered so they cannot ping-pong forever;
+//! 8. **phase-polynomial completion** — when everything else stalls,
+//!    gadget families are read as a parity phase polynomial and removed
+//!    wholesale if the polynomial is *pointwise* zero mod 2π (see
+//!    [`completion_pass`]). This is what closes `Mcx(k ≥ 3)` self-pairs,
+//!    whose fused parity gadgets carry doubled non-Clifford phases that
+//!    cancel only jointly, never gadget-by-gadget.
 //!
-//! Rules 1–6 strictly shrink the diagram, and the rule-7 meter is
+//! Every phase comparison in every guard is an exact integer decision on
+//! [`Phase`] values — the engine contains no float tolerance at all.
+//!
+//! Rules 1–6 strictly shrink the diagram, rule 8 strictly shrinks
+//! (vertices die, non-zero phases become zero), and the rule-7 meter is
 //! finite, so [`simplify`] terminates unconditionally. Together rules
 //! 1–5 are the Duncan–Kissinger–Perdrix–van de Wetering interior
-//! Clifford simplification; 6–7 extend it with the phase-gadget moves
-//! that let mirrored non-Clifford phases (`T`/`T†`, `CCX` pairs) cancel.
-//! The rule set is deliberately not complete for every equivalent pair:
-//! the engine's contract is that a full reduction to
+//! Clifford simplification; 6–8 extend it with the phase-gadget moves
+//! that let mirrored non-Clifford phases (`T`/`T†`, `CCX`/`Mcx` pairs)
+//! cancel. The rule set is deliberately not complete for every
+//! equivalent pair: the engine's contract is that a full reduction to
 //! [`Diagram::is_identity`] certifies equivalence, while a stall
-//! certifies nothing — the caller must fall through to another tier, and
-//! must never read a stall as inequivalence.
+//! certifies nothing — the caller must fall through to witness
+//! extraction (whose replay is independently sound) or to another tier,
+//! and must never read a stall as inequivalence.
 
-use super::graph::{
-    phase_half_turn_sign, phase_is_pauli, phase_is_pi, phase_is_zero, Diagram, EdgeKind, VKind,
-};
-use std::f64::consts::{FRAC_PI_2, PI};
+use super::graph::{Diagram, EdgeKind, VKind};
+use super::phase::Phase;
+
+/// Most variables a phase-polynomial component may span before the
+/// pointwise check (2^vars exact evaluations) is considered too
+/// expensive and the component is skipped — skipping only stalls, which
+/// is always safe. The widest accepted `Mcx` parity family spans
+/// [`super::MAX_MCX_CONTROLS`]` + 1 = 7` variables, well inside.
+pub(crate) const COMPLETION_MAX_VARS: usize = 12;
 
 /// Runs the rewrite loop to a fixpoint.
 ///
@@ -49,8 +65,10 @@ use std::f64::consts::{FRAC_PI_2, PI};
 /// pivot, pivot-gadget) are metered: extracting every original phase
 /// into a gadget needs at most one move per initial spider, so once the
 /// meter runs out further firing is unproductive ping-pong and the loop
-/// is cut off. Exhausting the meter (or the belt-and-braces round
-/// budget) just stalls the reduction, which is always safe.
+/// is cut off. Phase-polynomial completion runs last — only when every
+/// cheaper rule has nothing left — and strictly shrinks when it fires.
+/// Exhausting the meter (or the belt-and-braces round budget) just
+/// stalls the reduction, which is always safe.
 pub(crate) fn simplify(d: &mut Diagram) {
     color_change(d);
     let mut gadget_moves = d.spider_count() + 16;
@@ -77,6 +95,9 @@ pub(crate) fn simplify(d: &mut Diagram) {
         }
         if gadget_moves > 0 && pivot_gadget_pass(d) {
             gadget_moves -= 1;
+            continue;
+        }
+        if completion_pass(d) {
             continue;
         }
         break;
@@ -136,14 +157,14 @@ fn identity_pass(d: &mut Diagram) -> bool {
                 // A disconnected spider is the scalar 1 + e^{iφ}. That
                 // is non-zero (and thus droppable) unless φ = π, which
                 // cannot arise from a unitary diagram; stall if it does.
-                if phase_is_pi(d.phase(v)) {
+                if d.phase(v).is_pi() {
                     d.mark_zero_scalar();
                 } else {
                     d.kill(v);
                     changed = true;
                 }
             }
-            2 if phase_is_zero(d.phase(v)) => {
+            2 if d.phase(v).is_zero() => {
                 let ns = d.neighbors(v);
                 let (n1, k1) = ns[0];
                 let (n2, k2) = ns[1];
@@ -180,7 +201,7 @@ fn local_complement_pass(d: &mut Diagram) -> bool {
         if !d.is_z(v) {
             continue;
         }
-        let Some(sign) = phase_half_turn_sign(d.phase(v)) else {
+        let Some(sign) = d.phase(v).half_turn_sign() else {
             continue;
         };
         if d.degree(v) == 0 || !interior_on_hadamard_edges(d, v) {
@@ -194,7 +215,7 @@ fn local_complement_pass(d: &mut Diagram) -> bool {
             }
         }
         for &n in &ns {
-            d.add_phase(n, -sign * FRAC_PI_2);
+            d.add_phase(n, Phase::dyadic(-i64::from(sign), 1));
         }
         changed = true;
     }
@@ -205,14 +226,14 @@ fn local_complement_pass(d: &mut Diagram) -> bool {
 fn pivot_pass(d: &mut Diagram) -> bool {
     let mut changed = false;
     for u in 0..d.slots() {
-        if !d.is_z(u) || !phase_is_pauli(d.phase(u)) || !interior_on_hadamard_edges(d, u) {
+        if !d.is_z(u) || !d.phase(u).is_pauli() || !interior_on_hadamard_edges(d, u) {
             continue;
         }
         let Some(v) = d
             .neighbors(u)
             .into_iter()
             .map(|(n, _)| n)
-            .find(|&n| phase_is_pauli(d.phase(n)) && interior_on_hadamard_edges(d, n))
+            .find(|&n| d.phase(n).is_pauli() && interior_on_hadamard_edges(d, n))
         else {
             continue;
         };
@@ -226,8 +247,8 @@ fn pivot_pass(d: &mut Diagram) -> bool {
 /// interior): complement between the exclusive-`u`, exclusive-`v` and
 /// common neighborhoods, exchange phases, and remove the pair.
 fn apply_pivot(d: &mut Diagram, u: usize, v: usize) {
-    let pu = d.phase(u);
-    let pv = d.phase(v);
+    let pu = d.phase(u).clone();
+    let pv = d.phase(v).clone();
     let nu: Vec<usize> = d
         .neighbors(u)
         .into_iter()
@@ -261,13 +282,14 @@ fn apply_pivot(d: &mut Diagram, u: usize, v: usize) {
         }
     }
     for &a in &only_u {
-        d.add_phase(a, pv);
+        d.add_phase(a, pv.clone());
     }
     for &b in &only_v {
-        d.add_phase(b, pu);
+        d.add_phase(b, pu.clone());
     }
+    let common_shift = pu + pv + Phase::pi();
     for &c in &common {
-        d.add_phase(c, pu + pv + PI);
+        d.add_phase(c, common_shift.clone());
     }
 }
 
@@ -305,12 +327,12 @@ fn gadget_pass(d: &mut Diagram) -> bool {
         }
         // Fold a π hub into the leaf; other hub phases mean this is not
         // a gadget at all.
-        if phase_is_pi(d.phase(hub)) {
-            let negated = -d.phase(leaf);
-            d.add_phase(leaf, negated - d.phase(leaf));
-            d.add_phase(hub, -PI);
+        if d.phase(hub).is_pi() {
+            let negated = -d.phase(leaf).clone();
+            d.set_phase(leaf, negated);
+            d.add_phase(hub, Phase::pi());
             changed = true;
-        } else if !phase_is_zero(d.phase(hub)) {
+        } else if !d.phase(hub).is_zero() {
             continue;
         }
         let targets: Vec<usize> = d
@@ -322,7 +344,7 @@ fn gadget_pass(d: &mut Diagram) -> bool {
         let mut key = targets;
         key.sort_unstable();
         if let Some(&(leaf0, _)) = seen.get(&key) {
-            let p = d.phase(leaf);
+            let p = d.phase(leaf).clone();
             d.add_phase(leaf0, p);
             d.kill(leaf);
             d.kill(hub);
@@ -331,7 +353,7 @@ fn gadget_pass(d: &mut Diagram) -> bool {
             // this pass (driven by `changed`) picks it up.
             continue;
         }
-        if phase_is_zero(d.phase(leaf)) {
+        if d.phase(leaf).is_zero() {
             d.kill(leaf);
             d.kill(hub);
             changed = true;
@@ -346,12 +368,12 @@ fn gadget_pass(d: &mut Diagram) -> bool {
 /// `Z(α) = Z(0)` with `exp(iα·x)` applied to its variable. The inverse
 /// of singleton-gadget absorption, so exactly sound.
 fn gadgetize(d: &mut Diagram, v: usize) {
-    let alpha = d.phase(v);
-    let hub = d.add_vertex(VKind::Z, 0.0);
+    let alpha = d.phase(v).clone();
+    let hub = d.add_vertex(VKind::Z, Phase::ZERO);
     let leaf = d.add_vertex(VKind::Z, alpha);
     d.connect(v, hub, EdgeKind::Had);
     d.connect(hub, leaf, EdgeKind::Had);
-    d.add_phase(v, -alpha);
+    d.set_phase(v, Phase::ZERO);
 }
 
 /// One sweep of pivot-gadget: an interior Pauli spider `u` whose only
@@ -363,11 +385,11 @@ fn gadgetize(d: &mut Diagram, v: usize) {
 /// leaves already, and re-gadgetizing them would cycle.
 fn pivot_gadget_pass(d: &mut Diagram) -> bool {
     for u in 0..d.slots() {
-        if !d.is_z(u) || !phase_is_pauli(d.phase(u)) || !interior_on_hadamard_edges(d, u) {
+        if !d.is_z(u) || !d.phase(u).is_pauli() || !interior_on_hadamard_edges(d, u) {
             continue;
         }
         let Some(v) = d.neighbors(u).into_iter().map(|(n, _)| n).find(|&n| {
-            !phase_is_pauli(d.phase(n)) && d.degree(n) > 1 && interior_on_hadamard_edges(d, n)
+            !d.phase(n).is_pauli() && d.degree(n) > 1 && interior_on_hadamard_edges(d, n)
         }) else {
             continue;
         };
@@ -385,11 +407,11 @@ fn pivot_gadget_pass(d: &mut Diagram) -> bool {
 /// after which the pair pivots normally.
 fn boundary_pivot_pass(d: &mut Diagram) -> bool {
     for u in 0..d.slots() {
-        if !d.is_z(u) || !phase_is_pauli(d.phase(u)) || !interior_on_hadamard_edges(d, u) {
+        if !d.is_z(u) || !d.phase(u).is_pauli() || !interior_on_hadamard_edges(d, u) {
             continue;
         }
         let candidate = d.neighbors(u).into_iter().map(|(n, _)| n).find(|&v| {
-            phase_is_pauli(d.phase(v))
+            d.phase(v).is_pauli()
                 && d.neighbors(v).into_iter().any(|(n, _)| !d.is_z(n))
                 && d.neighbors(v)
                     .into_iter()
@@ -405,7 +427,7 @@ fn boundary_pivot_pass(d: &mut Diagram) -> bool {
             // b —kind— v  ⇒  b —kind.toggled()— new —Had— v, composing
             // back to `kind` through the inserted identity spider.
             d.kill_edge_between(b, v);
-            let mid = d.add_vertex(VKind::Z, 0.0);
+            let mid = d.add_vertex(VKind::Z, Phase::ZERO);
             d.connect(b, mid, kind.toggled());
             d.connect(mid, v, EdgeKind::Had);
         }
@@ -413,6 +435,165 @@ fn boundary_pivot_pass(d: &mut Diagram) -> bool {
         return true;
     }
     false
+}
+
+/// A phase gadget as read by [`completion_pass`]: its two private
+/// vertices plus the target spiders its parity ranges over.
+struct PolyGadget {
+    leaf: usize,
+    hub: usize,
+    targets: Vec<usize>,
+}
+
+/// Phase-polynomial completion: removes a whole *family* of gadgets
+/// (plus the phases sitting on their target spiders) when the family's
+/// parity phase polynomial is pointwise zero mod 2π.
+///
+/// Semantics: in a graph-like diagram each gadget `(ℓ, h, T)` with leaf
+/// phase θ contracts — summing its two private vertices out — to the
+/// scalar factor `2·exp(iθ·(⊕_{t∈T} x_t))`, and each spider phase α on
+/// a vertex `v` is the factor `exp(iα·x_v)`. Over a component of
+/// gadgets connected through shared targets, the product of all those
+/// factors is `exp(i·f(x))` for the phase polynomial
+///
+/// ```text
+///     f(x) = Σ_gadgets θ_g·(⊕_{t∈T_g} x_t)  +  Σ_vars α_v·x_v
+/// ```
+///
+/// If `f(x) ≡ 0 (mod 2π)` for *every* assignment of the component's
+/// variables — checked exhaustively with exact [`Phase`] sums, at most
+/// `2^`[`COMPLETION_MAX_VARS`] evaluations — the whole family is a
+/// (non-zero) scalar and is removed: every gadget's leaf and hub die,
+/// every variable's phase is set to zero. The contraction above is only
+/// valid when each gadget's leaf and hub are *private* (no other
+/// collected gadget targets them), so candidates violating that are
+/// discarded before evaluation.
+///
+/// This is the rule that closes `Mcx(k ≥ 3)` self-pairs: the doubled
+/// miter expands into one parity gadget per non-empty control subset
+/// with phase `±2π/2^{m−1}`, no two of which cancel pairwise — but the
+/// polynomial is `2·(C^kZ phase function) = 2π·x₁⋯x_m ≡ 0` pointwise.
+fn completion_pass(d: &mut Diagram) -> bool {
+    // Collect candidate gadgets, one per hub (extra degree-1 neighbors
+    // of the same hub are treated as targets and keep their own phase).
+    let mut hub_taken = vec![false; d.slots()];
+    let mut gadgets: Vec<PolyGadget> = Vec::new();
+    for leaf in 0..d.slots() {
+        if !d.is_z(leaf) || d.degree(leaf) != 1 {
+            continue;
+        }
+        let (hub, kind) = d.neighbors(leaf)[0];
+        if kind != EdgeKind::Had
+            || !d.is_z(hub)
+            || d.degree(hub) < 2
+            || hub_taken[hub]
+            || !d.phase(hub).is_zero()
+            || !interior_on_hadamard_edges(d, hub)
+            || d.phase(leaf).is_zero()
+        {
+            continue;
+        }
+        hub_taken[hub] = true;
+        let targets: Vec<usize> = d
+            .neighbors(hub)
+            .into_iter()
+            .map(|(n, _)| n)
+            .filter(|&n| n != leaf)
+            .collect();
+        gadgets.push(PolyGadget { leaf, hub, targets });
+    }
+    // Privacy fixpoint: a gadget whose leaf or hub is another gadget's
+    // target cannot be contracted independently — drop it (and re-check,
+    // since dropping shrinks the variable set).
+    loop {
+        let mut is_var = vec![false; d.slots()];
+        for g in &gadgets {
+            for &t in &g.targets {
+                is_var[t] = true;
+            }
+        }
+        let before = gadgets.len();
+        gadgets.retain(|g| !is_var[g.hub] && !is_var[g.leaf]);
+        if gadgets.len() == before {
+            break;
+        }
+    }
+    if gadgets.is_empty() {
+        return false;
+    }
+    // Union-find over variables: gadgets sharing a target must be
+    // judged jointly.
+    let mut parent: Vec<usize> = (0..d.slots()).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for g in &gadgets {
+        let root = find(&mut parent, g.targets[0]);
+        for &t in &g.targets[1..] {
+            let r = find(&mut parent, t);
+            parent[r] = root;
+        }
+    }
+    use std::collections::BTreeMap;
+    let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (index, g) in gadgets.iter().enumerate() {
+        let root = find(&mut parent, g.targets[0]);
+        components.entry(root).or_default().push(index);
+    }
+    let mut changed = false;
+    for members in components.values() {
+        let mut vars: Vec<usize> = members
+            .iter()
+            .flat_map(|&i| gadgets[i].targets.iter().copied())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        if vars.len() > COMPLETION_MAX_VARS {
+            continue;
+        }
+        let bit_of = |v: usize| vars.binary_search(&v).expect("target is a variable") as u32;
+        // The polynomial's terms: each gadget over its parity mask, plus
+        // each variable's own phase as a singleton term.
+        let mut terms: Vec<(u32, Phase)> = Vec::new();
+        for &i in members {
+            let mask = gadgets[i]
+                .targets
+                .iter()
+                .fold(0u32, |m, &t| m | (1 << bit_of(t)));
+            terms.push((mask, d.phase(gadgets[i].leaf).clone()));
+        }
+        for &v in &vars {
+            if !d.phase(v).is_zero() {
+                terms.push((1 << bit_of(v), d.phase(v).clone()));
+            }
+        }
+        // Exact pointwise check (f(0) = 0 trivially: every term is a
+        // parity, and parities vanish on the all-zero assignment).
+        let pointwise_zero = (1u32..1 << vars.len()).all(|x| {
+            terms
+                .iter()
+                .filter(|(mask, _)| (mask & x).count_ones() % 2 == 1)
+                .map(|(_, p)| p.clone())
+                .sum::<Phase>()
+                .is_zero()
+        });
+        if !pointwise_zero {
+            continue;
+        }
+        for &i in members {
+            d.kill(gadgets[i].leaf);
+            d.kill(gadgets[i].hub);
+        }
+        for &v in &vars {
+            d.set_phase(v, Phase::ZERO);
+        }
+        changed = true;
+    }
+    changed
 }
 
 #[cfg(test)]
@@ -450,7 +631,8 @@ mod tests {
 
     #[test]
     fn rx_equals_conjugated_rz_reduces() {
-        // Rx(θ) · (H · Rz(θ) · H)† = I: exercises color change + fusion.
+        // Rx(θ) · (H · Rz(θ) · H)† = I: exercises color change + fusion,
+        // with the arbitrary angle canceling as an exact symbolic atom.
         let mut c = Circuit::new(1);
         c.rx(0.3, 0).h(0).rz(-0.3, 0).h(0);
         assert!(reduces(&c));
@@ -471,14 +653,42 @@ mod tests {
     }
 
     #[test]
-    fn wide_mcx_pair_stalls() {
+    fn wide_mcx_pairs_reduce_via_phase_polynomial_completion() {
         // Mcx(k ≥ 3) self-pairs expand to identical parity-gadget sets,
         // so the fused gadgets carry *doubled* (non-Clifford) phases
-        // that only cancel pointwise mod 2π — reasoning the rule set
-        // does not attempt. Must stall (sound), not misreport.
+        // that cancel only pointwise mod 2π — invisible to pairwise
+        // gadget fusion, closed by the completion pass. These stalled
+        // before completion landed (the ROADMAP follow-up).
+        for k in 3..=4 {
+            let n = k as u32 + 1;
+            let controls: Vec<u32> = (0..k as u32).collect();
+            let mut c = Circuit::new(n);
+            c.mcx(&controls, n - 1).mcx(&controls, n - 1);
+            assert!(reduces(&c), "Mcx({k}) self-pair must now reduce");
+        }
+    }
+
+    #[test]
+    fn widest_translatable_mcx_pair_reduces() {
+        // k = MAX_MCX_CONTROLS = 6: 127 parity gadgets per Mcx, judged
+        // jointly over 7 variables by the completion pass.
+        let mut c = Circuit::new(7);
+        c.mcx(&[0, 1, 2, 3, 4, 5], 6).mcx(&[0, 1, 2, 3, 4, 5], 6);
+        assert!(reduces(&c));
+    }
+
+    #[test]
+    fn mcx_conjugated_by_x_reduces() {
+        // X(c)·Mcx·X(c) ≠ Mcx, but wrapped as a self-miter the pair
+        // still cancels — exercises completion next to π spiders.
         let mut c = Circuit::new(5);
-        c.mcx(&[0, 1, 2, 3], 4).mcx(&[0, 1, 2, 3], 4);
-        assert!(!reduces(&c));
+        c.x(0)
+            .mcx(&[0, 1, 2, 3], 4)
+            .mcx(&[0, 1, 2, 3], 4)
+            .x(0)
+            .x(2)
+            .x(2);
+        assert!(reduces(&c));
     }
 
     #[test]
@@ -503,6 +713,15 @@ mod tests {
     fn single_t_gate_does_not_reduce() {
         let mut c = Circuit::new(1);
         c.t(0);
+        assert!(!reduces(&c));
+    }
+
+    #[test]
+    fn single_wide_mcx_does_not_reduce() {
+        // Completion must only fire on families that *jointly* cancel:
+        // one Mcx alone is not the identity and must stall.
+        let mut c = Circuit::new(5);
+        c.mcx(&[0, 1, 2, 3], 4);
         assert!(!reduces(&c));
     }
 

@@ -21,10 +21,21 @@
 //!   exponential in `k`, so translation refuses more than
 //!   [`MAX_MCX_CONTROLS`] controls and the verifier falls through to a
 //!   lower tier.
+//!
+//! Every *structural* phase — Pauli π, Clifford ±π/2, the T-ladder
+//! ±π/4 of the `CCX` lowering, the `±π/2^{m−1}` parity-term angles of
+//! the `Mcx` expansion — is constructed **symbolically** as an exact
+//! dyadic [`Phase`], never routed through a float. Only the free-angle
+//! rotation parameters (`Rx`/`Ry`/`Rz`/`P`/`U`/`CP`/`CRz`) pass through
+//! [`Phase::from_radians`], which classifies bit-exact grid values and
+//! keeps everything else as an exact symbolic atom. Halvings of raw
+//! parameters (`λ/2` in the `CP`/`CRz` lowerings) happen on the `f64`
+//! *before* construction — a power-of-two scaling is exact in binary
+//! floating point, so mirrored `λ/2` atoms still cancel exactly.
 
 use super::graph::{Diagram, EdgeKind, VKind};
+use super::phase::Phase;
 use qcir::{Circuit, Gate};
-use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
 /// Largest `Mcx` control count the parity-term expansion accepts before
 /// the exponential gate count stops being worth it.
@@ -49,7 +60,7 @@ impl Builder {
     }
 
     /// Appends a spider to wire `w`, consuming the pending edge kind.
-    fn place(&mut self, w: usize, kind: VKind, phase: f64) -> usize {
+    fn place(&mut self, w: usize, kind: VKind, phase: Phase) -> usize {
         let v = self.diagram.add_vertex(kind, phase);
         self.diagram.connect(self.front[w], v, self.pending[w]);
         self.front[w] = v;
@@ -58,12 +69,12 @@ impl Builder {
     }
 
     /// `P(α)` = diag(1, e^{iα}): a Z spider with phase α.
-    fn zphase(&mut self, w: usize, phase: f64) {
+    fn zphase(&mut self, w: usize, phase: Phase) {
         self.place(w, VKind::Z, phase);
     }
 
     /// `X^{α/π}` up to phase: an X spider with phase α.
-    fn xphase(&mut self, w: usize, phase: f64) {
+    fn xphase(&mut self, w: usize, phase: Phase) {
         self.place(w, VKind::X, phase);
     }
 
@@ -75,40 +86,40 @@ impl Builder {
     /// `CX`: phase-free Z spider on the control, X spider on the
     /// target, plain edge between them.
     fn cx(&mut self, c: usize, t: usize) {
-        let zc = self.place(c, VKind::Z, 0.0);
-        let xt = self.place(t, VKind::X, 0.0);
+        let zc = self.place(c, VKind::Z, Phase::ZERO);
+        let xt = self.place(t, VKind::X, Phase::ZERO);
         self.diagram.connect(zc, xt, EdgeKind::Plain);
     }
 
     /// `CZ`: two phase-free Z spiders on a Hadamard edge.
     fn cz(&mut self, a: usize, b: usize) {
-        let za = self.place(a, VKind::Z, 0.0);
-        let zb = self.place(b, VKind::Z, 0.0);
+        let za = self.place(a, VKind::Z, Phase::ZERO);
+        let zb = self.place(b, VKind::Z, Phase::ZERO);
         self.diagram.connect(za, zb, EdgeKind::Had);
     }
 
     /// `Ry(θ) = S · Rx(θ) · S†` (applied right to left).
-    fn ry(&mut self, w: usize, theta: f64) {
-        self.zphase(w, -FRAC_PI_2);
+    fn ry(&mut self, w: usize, theta: Phase) {
+        self.zphase(w, Phase::dyadic(-1, 1));
         self.xphase(w, theta);
-        self.zphase(w, FRAC_PI_2);
+        self.zphase(w, Phase::dyadic(1, 1));
     }
 
     /// Multi-controlled Z over `wires` via the parity-term expansion.
+    /// The per-term angle `±π/2^{m−1}` is an exact dyadic phase.
     fn mcz(&mut self, wires: &[usize]) {
         let m = wires.len();
-        let scale = PI / f64::from(1u32 << (m - 1));
         for mask in 1u32..(1 << m) {
             let subset: Vec<usize> = (0..m)
                 .filter(|&i| mask & (1 << i) != 0)
                 .map(|i| wires[i])
                 .collect();
-            let sign = if subset.len() % 2 == 1 { 1.0 } else { -1.0 };
+            let sign = if subset.len() % 2 == 1 { 1 } else { -1 };
             let (&last, rest) = subset.split_last().expect("non-empty subset");
             for &w in rest {
                 self.cx(w, last);
             }
-            self.zphase(last, sign * scale);
+            self.zphase(last, Phase::dyadic(sign, m as u32 - 1));
             for &w in rest.iter().rev() {
                 self.cx(w, last);
             }
@@ -120,43 +131,43 @@ impl Builder {
     fn gate(&mut self, gate: &Gate, q: &[usize]) -> Option<()> {
         match gate {
             Gate::I => {}
-            Gate::X => self.xphase(q[0], PI),
+            Gate::X => self.xphase(q[0], Phase::pi()),
             Gate::Y => {
                 // Y = i·X·Z: Z first, then X.
-                self.zphase(q[0], PI);
-                self.xphase(q[0], PI);
+                self.zphase(q[0], Phase::pi());
+                self.xphase(q[0], Phase::pi());
             }
-            Gate::Z => self.zphase(q[0], PI),
+            Gate::Z => self.zphase(q[0], Phase::pi()),
             Gate::H => self.had(q[0]),
-            Gate::S => self.zphase(q[0], FRAC_PI_2),
-            Gate::Sdg => self.zphase(q[0], -FRAC_PI_2),
-            Gate::T => self.zphase(q[0], FRAC_PI_4),
-            Gate::Tdg => self.zphase(q[0], -FRAC_PI_4),
-            Gate::Sx => self.xphase(q[0], FRAC_PI_2),
-            Gate::Sxdg => self.xphase(q[0], -FRAC_PI_2),
-            Gate::Rx(a) => self.xphase(q[0], *a),
-            Gate::Ry(a) => self.ry(q[0], *a),
-            Gate::Rz(a) | Gate::P(a) => self.zphase(q[0], *a),
+            Gate::S => self.zphase(q[0], Phase::dyadic(1, 1)),
+            Gate::Sdg => self.zphase(q[0], Phase::dyadic(-1, 1)),
+            Gate::T => self.zphase(q[0], Phase::dyadic(1, 2)),
+            Gate::Tdg => self.zphase(q[0], Phase::dyadic(-1, 2)),
+            Gate::Sx => self.xphase(q[0], Phase::dyadic(1, 1)),
+            Gate::Sxdg => self.xphase(q[0], Phase::dyadic(-1, 1)),
+            Gate::Rx(a) => self.xphase(q[0], Phase::from_radians(*a)),
+            Gate::Ry(a) => self.ry(q[0], Phase::from_radians(*a)),
+            Gate::Rz(a) | Gate::P(a) => self.zphase(q[0], Phase::from_radians(*a)),
             Gate::U(theta, phi, lambda) => {
-                self.zphase(q[0], *lambda);
-                self.ry(q[0], *theta);
-                self.zphase(q[0], *phi);
+                self.zphase(q[0], Phase::from_radians(*lambda));
+                self.ry(q[0], Phase::from_radians(*theta));
+                self.zphase(q[0], Phase::from_radians(*phi));
             }
             Gate::CX => self.cx(q[0], q[1]),
             Gate::CY => {
-                self.zphase(q[1], -FRAC_PI_2);
+                self.zphase(q[1], Phase::dyadic(-1, 1));
                 self.cx(q[0], q[1]);
-                self.zphase(q[1], FRAC_PI_2);
+                self.zphase(q[1], Phase::dyadic(1, 1));
             }
             Gate::CZ => self.cz(q[0], q[1]),
             Gate::CH => {
-                self.ry(q[1], -FRAC_PI_4);
+                self.ry(q[1], Phase::dyadic(-1, 2));
                 self.cz(q[0], q[1]);
-                self.ry(q[1], FRAC_PI_4);
+                self.ry(q[1], Phase::dyadic(1, 2));
             }
             Gate::CP(a) => self.cp(q[0], q[1], *a),
             Gate::CRz(a) => {
-                self.zphase(q[0], -a / 2.0);
+                self.zphase(q[0], Phase::from_radians(-a / 2.0));
                 self.cp(q[0], q[1], *a);
             }
             Gate::Swap => {
@@ -185,31 +196,38 @@ impl Builder {
         Some(())
     }
 
-    /// `CP(λ)` = `P(λ/2)(c) · P(λ/2)(t) · CX · P(−λ/2)(t) · CX`.
+    /// `CP(λ)` = `P(λ/2)(c) · P(λ/2)(t) · CX · P(−λ/2)(t) · CX`. The
+    /// halving happens on the raw `f64` (exact power-of-two scaling),
+    /// so a mirrored `CP(−λ)` produces the exactly-canceling atoms.
     fn cp(&mut self, c: usize, t: usize, lambda: f64) {
-        self.zphase(c, lambda / 2.0);
-        self.zphase(t, lambda / 2.0);
+        let half = Phase::from_radians(lambda / 2.0);
+        let neg_half = Phase::from_radians(-lambda / 2.0);
+        self.zphase(c, half.clone());
+        self.zphase(t, half);
         self.cx(c, t);
-        self.zphase(t, -lambda / 2.0);
+        self.zphase(t, neg_half);
         self.cx(c, t);
     }
 
-    /// The standard exact 7-T Toffoli decomposition.
+    /// The standard exact 7-T Toffoli decomposition (±π/4 phases are
+    /// exact dyadic quarter-turns).
     fn ccx(&mut self, c0: usize, c1: usize, t: usize) {
+        let t_up = || Phase::dyadic(1, 2);
+        let t_dn = || Phase::dyadic(-1, 2);
         self.had(t);
         self.cx(c1, t);
-        self.zphase(t, -FRAC_PI_4);
+        self.zphase(t, t_dn());
         self.cx(c0, t);
-        self.zphase(t, FRAC_PI_4);
+        self.zphase(t, t_up());
         self.cx(c1, t);
-        self.zphase(t, -FRAC_PI_4);
+        self.zphase(t, t_dn());
         self.cx(c0, t);
-        self.zphase(c1, FRAC_PI_4);
-        self.zphase(t, FRAC_PI_4);
+        self.zphase(c1, t_up());
+        self.zphase(t, t_up());
         self.had(t);
         self.cx(c0, c1);
-        self.zphase(c0, FRAC_PI_4);
-        self.zphase(c1, -FRAC_PI_4);
+        self.zphase(c0, t_up());
+        self.zphase(c1, t_dn());
         self.cx(c0, c1);
     }
 
@@ -289,5 +307,30 @@ mod tests {
         let d = diagram_of(&c).unwrap();
         // 1 (T) + 2 (CX) + 19 (CCX: 6 CX + 7 phases; H absorbed into edges).
         assert_eq!(d.spider_count(), 1 + 2 + 19);
+    }
+
+    #[test]
+    fn structural_phases_are_exact_dyadics() {
+        // A T spider carries exactly π/4 — dyadic, not an atom — so
+        // eight of them fused would cancel exactly.
+        let mut c = Circuit::new(1);
+        c.t(0);
+        let d = diagram_of(&c).unwrap();
+        let spider = (0..d.slots())
+            .find(|&v| d.is_alive(v) && d.vkind(v) == VKind::Z)
+            .unwrap();
+        assert_eq!(*d.phase(spider), Phase::dyadic(1, 2));
+    }
+
+    #[test]
+    fn rotation_parameters_become_symbolic_atoms() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0);
+        let d = diagram_of(&c).unwrap();
+        let spider = (0..d.slots())
+            .find(|&v| d.is_alive(v) && d.vkind(v) == VKind::Z)
+            .unwrap();
+        assert_eq!(*d.phase(spider), Phase::from_radians(0.3));
+        assert!(!d.phase(spider).is_pauli());
     }
 }

@@ -1,0 +1,197 @@
+//! Certified inequivalence from a stalled ZX reduction.
+//!
+//! A reduced-but-non-identity miter diagram is *suggestive* — it is what
+//! survives after everything the rewrite engine can cancel has
+//! canceled — but by the tier's own contract it proves nothing on its
+//! own: the rule set is incomplete, and a sound verifier must never
+//! turn "I could not finish" into "they differ". This module closes the
+//! gap with a **propose-then-certify** split:
+//!
+//! 1. **Propose** (heuristic, untrusted): read the residual diagram's
+//!    *active wires* — wires whose input is no longer plain-connected to
+//!    its own output — and derive a handful of candidate basis inputs
+//!    that would expose the residue if it is what it looks like
+//!    (all-zeros for bit-flip residues, single-bit probes for wire
+//!    permutations, the all-active pattern for control-gated residues,
+//!    plus seeded pseudo-random probes on the cheap classical path).
+//! 2. **Certify** (exact, independent): replay each candidate through
+//!    machinery that never saw the ZX graph —
+//!    * both circuits classical reversible → bit-level evaluation of
+//!      each circuit at any register width the `u64` basis encoding
+//!      covers (≤ 63 wires), `O(gates)` per input
+//!      ([`Witness::BasisInput`], outputs compared exactly);
+//!    * otherwise, registers within the statevector cap → one basis
+//!      replay of the miter through `qsim`
+//!      ([`crate::stimulus::basis_refutation`]), yielding
+//!      [`Witness::BasisColumn`] with the deficient overlap.
+//!
+//! A candidate that fails certification is simply dropped; if none
+//! survives, the tier falls through exactly as a plain stall does. A
+//! rewrite-engine bug can therefore cost completeness, never soundness:
+//! every `Inequivalent` the ZX tier emits is backed by a replay witness
+//! the caller can re-run.
+//!
+//! Purely *diagonal* residues (`T` vs `T†`, a leftover `CZ`) are
+//! invisible to any single basis input — `|⟨x|D|x⟩| = 1` for diagonal
+//! `D` — so extraction skips the statevector replay when the residue
+//! looks diagonal ([`basis_visible`]) and those pairs keep falling
+//! through to the dense/stimulus tiers, which can see relative phases.
+
+use super::graph::{Diagram, EdgeKind, VKind};
+use crate::stimulus::{self, mix};
+use crate::{Witness, MAX_STIMULUS_QUBITS};
+use qcir::Circuit;
+use revlib::classical_eval;
+
+/// Most statevector basis replays attempted per stalled diagram: each
+/// one costs a full `2ⁿ` miter simulation, so the budget is tight —
+/// enough for the all-zeros probe, the all-active probe and a couple of
+/// single-bit probes.
+const MAX_BASIS_REPLAYS: usize = 4;
+
+/// Seeded pseudo-random probes added on the classical path, where one
+/// candidate costs only `O(gates)` bit operations.
+const CLASSICAL_RANDOM_PROBES: u64 = 32;
+
+/// Attempts to turn a reduced-but-non-identity diagram into a
+/// replay-certified witness. `None` means "no confirmed witness" — the
+/// caller falls through, exactly as for a plain stall.
+pub(crate) fn extract(
+    original: &Circuit,
+    candidate: &Circuit,
+    miter: &Circuit,
+    diagram: &Diagram,
+    eps: f64,
+) -> Option<Witness> {
+    if diagram.has_zero_scalar() {
+        // The structure is not trustworthy enough even to *propose*
+        // candidates from (and it cannot arise from unitary circuits).
+        return None;
+    }
+    let n = original.num_qubits();
+    if n == 0 || n > 63 {
+        // Basis inputs are encoded as u64 bit patterns.
+        return None;
+    }
+    let active = active_wires(diagram);
+    if active.is_empty() {
+        return None;
+    }
+    let classical = |c: &Circuit| c.iter().all(|i| i.gate().is_classical());
+    if classical(original) && classical(candidate) {
+        let mut candidates = structured_candidates(&active, usize::MAX);
+        let mask = (1u64 << n) - 1;
+        for probe in 0..CLASSICAL_RANDOM_PROBES {
+            // The stimulus tier's SplitMix64, on a constant stream, so
+            // probe inputs are reproducible.
+            let x = mix(0x05EE_DC1A_C515_1CA1, probe) & mask;
+            if !candidates.contains(&x) {
+                candidates.push(x);
+            }
+        }
+        for x in candidates {
+            let left = classical_eval(original, x as usize).ok()? as u64;
+            let right = classical_eval(candidate, x as usize).ok()? as u64;
+            if left != right {
+                return Some(Witness::BasisInput {
+                    input: x,
+                    left_output: left,
+                    right_output: right,
+                });
+            }
+        }
+        return None;
+    }
+    if n <= MAX_STIMULUS_QUBITS && basis_visible(diagram) {
+        for x in structured_candidates(&active, MAX_BASIS_REPLAYS) {
+            if let Ok(Some(overlap)) = stimulus::basis_refutation(miter, x, eps) {
+                return Some(Witness::BasisColumn { input: x, overlap });
+            }
+        }
+    }
+    None
+}
+
+/// Wires whose identity the reduction did *not* re-establish: wire `i`
+/// is clean iff its input boundary is plain-connected straight to its
+/// own output boundary.
+fn active_wires(d: &Diagram) -> Vec<u32> {
+    d.inputs()
+        .iter()
+        .zip(d.outputs())
+        .enumerate()
+        .filter(|&(_, (&i, &o))| d.edge(i, o) != Some(EdgeKind::Plain))
+        .map(|(wire, _)| wire as u32)
+        .collect()
+}
+
+/// Candidate basis inputs derived from the active-wire set, most
+/// promising first: all-zeros (exposes bit-flip residues), the
+/// all-active pattern (satisfies control conjunctions), then single-bit
+/// probes per active wire (expose wire permutations) and the all-active
+/// pattern with one bit dropped.
+fn structured_candidates(active: &[u32], limit: usize) -> Vec<u64> {
+    let all: u64 = active.iter().fold(0, |m, &w| m | (1u64 << w));
+    let mut out: Vec<u64> = vec![0, all];
+    for &w in active {
+        out.push(1u64 << w);
+        out.push(all & !(1u64 << w));
+    }
+    let mut seen: Vec<u64> = Vec::new();
+    for x in out {
+        if !seen.contains(&x) {
+            seen.push(x);
+        }
+    }
+    seen.truncate(limit);
+    seen
+}
+
+/// `true` if the residue can plausibly be seen by a single basis input.
+/// Diagonal operators fix every basis ray, so a residue whose boundary
+/// structure is all plain wires into spiders (the shape of leftover
+/// phases and `CZ`s) is skipped; Hadamard edges at a boundary or
+/// boundary-to-boundary cross-wiring are the signatures worth paying a
+/// statevector replay for.
+fn basis_visible(d: &Diagram) -> bool {
+    let boundary_edges = d
+        .inputs()
+        .iter()
+        .chain(d.outputs())
+        .flat_map(|&b| d.neighbors(b).into_iter().map(move |(n, k)| (b, n, k)));
+    for (b, neighbor, kind) in boundary_edges {
+        if kind == EdgeKind::Had {
+            return true;
+        }
+        if d.vkind(neighbor) == VKind::Boundary {
+            // A boundary-to-boundary plain edge is fine only between an
+            // input and its own output (a clean wire); anything else is
+            // a wire permutation — very visible.
+            let partnered = d
+                .inputs()
+                .iter()
+                .zip(d.outputs())
+                .any(|(&i, &o)| (i == b && o == neighbor) || (i == neighbor && o == b));
+            if !partnered {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_candidates_cover_the_probe_shapes() {
+        let c = structured_candidates(&[1, 3], usize::MAX);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[1], 0b1010);
+        assert!(c.contains(&0b0010));
+        assert!(c.contains(&0b1000));
+        assert_eq!(c.len(), 4); // duplicates (all − bit = other bit) folded
+        assert_eq!(structured_candidates(&[1, 3], 2), vec![0, 0b1010]);
+    }
+}

@@ -6,15 +6,18 @@
 //!   tableau** tier, far beyond dense-unitary reach;
 //! * a 34-qubit Clifford+T restore round-trip — past the statevector
 //!   cap, where no tier could previously give an exact answer — is
-//!   certified by the **ZX-calculus** tier, and the ZX tier never
-//!   reports inequivalence itself (witnesses always come from a lower
-//!   tier);
-//! * a 20-qubit wrong-key recombination is rejected by the **stimulus**
-//!   tier with a concrete, reproducible witness (the ZX tier stalls on
-//!   it, as it must);
-//! * a 28-qubit wrong-key recombination — at the raised statevector cap
-//!   (`qsim::statevector::MAX_QUBITS`, inherited by the stimulus tier)
-//!   — is likewise rejected with a stimulus witness;
+//!   certified by the **ZX-calculus** tier, while a corrupted restore
+//!   whose residue is diagonal honestly stays `Inconclusive` (no basis
+//!   witness exists, and ZX never guesses);
+//! * 20- and 28-qubit wrong-key recombinations are rejected by the
+//!   **ZX tier itself** with replay-confirmed basis witnesses — since
+//!   the two-sided witness extension, sampling is no longer needed for
+//!   these — and the **stimulus** tier still rejects them when forced,
+//!   which keeps the raised statevector cap
+//!   (`qsim::statevector::MAX_QUBITS`) covered end to end;
+//! * a 30-qubit wrong-key pair — past *every* simulation cap, formerly
+//!   `Inconclusive` — is rejected by the ZX tier with a bit-replay
+//!   `BasisInput` witness;
 //! * on every ≤12-qubit revlib benchmark the tiered verdict matches the
 //!   dense-unitary ground truth.
 //!
@@ -177,10 +180,12 @@ fn thirty_four_qubit_clifford_t_roundtrip_certified_by_zx_tier() {
     assert!(report.verdict.is_equivalent(), "{report}");
     assert_eq!(report.confidence(), 1.0);
 
-    // A corrupted restore cannot be *witnessed* at this size: the ZX
-    // tier stalls — it never reports Inequivalent, so a wrong verdict
-    // is impossible — and every simulation tier is out of reach, so the
-    // dispatch honestly reports Inconclusive rather than guessing.
+    // A corrupted restore cannot be *witnessed* at this size: the T
+    // residue is diagonal (invisible to every basis input), the
+    // circuits are not classical (no bit replay), and the register is
+    // past the statevector cap (no basis replay) — so the witness
+    // extension has nothing sound to offer and the dispatch honestly
+    // reports Inconclusive rather than guessing.
     let mut corrupted = restored.clone();
     corrupted.t(5);
     assert!(verifier.check_zx(&c, &corrupted).is_none());
@@ -211,20 +216,29 @@ fn zx_certificates_agree_with_dense_on_revlib_roundtrips() {
                 bench.name()
             );
         }
-        // Corrupted candidates must never be certified.
+        // Corrupted candidates must never be certified equivalent; with
+        // the witness extension ZX may now *reject* them outright, and
+        // any such rejection must agree with dense ground truth.
         let mut corrupted = restored.clone();
         corrupted.x(0);
-        assert!(
-            verifier.check_zx(c, &corrupted).is_none(),
-            "{}: ZX must not certify a corrupted restore",
-            bench.name()
-        );
+        if let Some(report) = verifier.check_zx(c, &corrupted) {
+            assert!(
+                report.verdict.is_inequivalent(),
+                "{}: ZX must not certify a corrupted restore",
+                bench.name()
+            );
+            assert!(
+                !equivalent_up_to_phase(c, &corrupted, 1e-9).unwrap(),
+                "{}: ZX witnessed a pair dense accepts",
+                bench.name()
+            );
+        }
     }
     assert!(certified >= 3, "cross-check must not be vacuous");
 }
 
 #[test]
-fn twenty_qubit_wrong_key_rejected_with_stimulus_witness() {
+fn twenty_qubit_wrong_key_rejected_exactly_by_zx_witness() {
     let c = random_reversible(&RandomCircuitConfig::new(20, 40, 9));
     let obf = Obfuscator::new().with_seed(4).obfuscate(&c);
     let split = obf.split(21);
@@ -241,13 +255,38 @@ fn twenty_qubit_wrong_key_rejected_with_stimulus_witness() {
     assert!(report.verdict.is_equivalent(), "{report}");
     assert_eq!(report.confidence(), 1.0);
 
-    // Wrong key: swapped wire-map images.
+    // Wrong key: swapped wire-map images. ISSUE 3 left this to the
+    // sampling tier; since the two-sided witness extension (ISSUE 5)
+    // the ZX tier rejects it itself, with a replay-confirmed basis
+    // witness — exact, no trials.
     let bad = wrong_key_recombination(&split).expect("right segment spans ≥2 wires");
     assert!(
         sampled_divergence(&c, &bad) > 0,
         "chosen seeds must yield a functionally wrong key"
     );
     let report = verifier.check_report(&c, &bad);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    match &report.verdict {
+        Verdict::Inequivalent {
+            witness: Witness::BasisInput { input, .. },
+        } => {
+            // Bit-replay witness (both circuits classical): checkable
+            // outside the verifier entirely.
+            assert_ne!(
+                classical_eval(&c, *input as usize).unwrap(),
+                classical_eval(&bad, *input as usize).unwrap()
+            );
+        }
+        Verdict::Inequivalent {
+            witness: Witness::BasisColumn { overlap, .. },
+        } => assert!(*overlap < 1.0 - 1e-9),
+        other => panic!("expected a ZX basis witness, got {other}"),
+    }
+    assert_eq!(report.confidence(), 1.0);
+
+    // The stimulus tier must still reject the pair when forced — the
+    // sampling fallback stays healthy for residues ZX cannot see.
+    let report = verifier.check_stimulus(&c, &bad).unwrap();
     assert_eq!(report.tier, Tier::Stimulus);
     let Verdict::Inequivalent {
         witness:
@@ -270,7 +309,10 @@ fn twenty_eight_qubit_wrong_key_rejected_at_the_raised_stimulus_cap() {
     // statevector cap (26 → 28 qubits) and certifies a wrong-key
     // witness on a register the dense engines cannot touch. One worker
     // owns the 2²⁸-amplitude miter (4 GiB per state); the parallelism
-    // lives inside qsim's chunked kernels.
+    // lives inside qsim's chunked kernels. Since ISSUE 5 the normal
+    // dispatch no longer *needs* sampling here — the ZX tier rejects
+    // the pair first with an exact replay witness — so the cap claim is
+    // kept covered by forcing the stimulus tier explicitly.
     let n = 28u32;
     assert_eq!(
         qverify::MAX_STIMULUS_QUBITS,
@@ -285,10 +327,16 @@ fn twenty_eight_qubit_wrong_key_rejected_at_the_raised_stimulus_cap() {
         sampled_divergence(&c, &bad) > 0,
         "chosen seeds must yield a functionally wrong key"
     );
-    // Two trials configured; the witness lands on the first, so only
-    // one 28-qubit miter replay actually runs.
+    // The dispatch decides exactly, via the ZX tier's confirmed basis
+    // witness — no 4 GiB statevector is even allocated.
     let verifier = Verifier::new().with_trials(2).with_threads(1).with_seed(41);
     let report = verifier.check_report(&c, &bad);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    assert!(report.verdict.is_inequivalent(), "{report}");
+    assert_eq!(report.confidence(), 1.0);
+    // Forced stimulus: two trials configured; the witness lands on the
+    // first, so only one 28-qubit miter replay actually runs.
+    let report = verifier.check_stimulus(&c, &bad).unwrap();
     assert_eq!(report.tier, Tier::Stimulus, "{report}");
     let Verdict::Inequivalent {
         witness: Witness::Stimulus { fidelity, .. },
@@ -297,6 +345,58 @@ fn twenty_eight_qubit_wrong_key_rejected_at_the_raised_stimulus_cap() {
         panic!("expected a stimulus witness, got {}", report.verdict);
     };
     assert!(fidelity < 1.0 - 1e-9);
+}
+
+#[test]
+fn thirty_qubit_wrong_key_rejected_past_every_simulation_cap() {
+    // ISSUE 5 acceptance: a 30-qubit wrong-key pair is past the
+    // classical-exhaustive cap (16), the dense cap (12) and the
+    // stimulus cap (28) — before the witness extension it was
+    // Inconclusive. The ZX tier now rejects it with a bit-replay
+    // BasisInput witness, exact at any width.
+    let n = 30u32;
+    assert!(n > qverify::MAX_STIMULUS_QUBITS);
+    let c = random_reversible(&RandomCircuitConfig::new(n, 24, 12));
+    let obf = Obfuscator::new().with_seed(9).obfuscate(&c);
+    let split = obf.split(23);
+    let restored = recombine(&split).unwrap();
+    let verifier = Verifier::new();
+    let report = verifier.check_report(&c, &restored);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    assert!(report.verdict.is_equivalent(), "{report}");
+
+    let bad = wrong_key_recombination(&split).expect("right segment spans ≥2 wires");
+    assert!(
+        sampled_divergence(&c, &bad) > 0,
+        "chosen seeds must yield a functionally wrong key"
+    );
+    let report = verifier.check_report(&c, &bad);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    let Verdict::Inequivalent {
+        witness:
+            Witness::BasisInput {
+                input,
+                left_output,
+                right_output,
+            },
+    } = report.verdict
+    else {
+        panic!(
+            "expected a bit-replay basis witness, got {}",
+            report.verdict
+        );
+    };
+    // The witness survives independent re-evaluation.
+    assert_eq!(
+        classical_eval(&c, input as usize).unwrap() as u64,
+        left_output
+    );
+    assert_eq!(
+        classical_eval(&bad, input as usize).unwrap() as u64,
+        right_output
+    );
+    assert_ne!(left_output, right_output);
+    assert_eq!(report.confidence(), 1.0);
 }
 
 #[test]
