@@ -1,8 +1,9 @@
 //! Criterion bench: simulator throughput — the substrate cost behind
 //! every accuracy/TVD data point (1000-shot noisy runs), plus the
-//! kernel-engine groups: statevector scaling at 16/20/24/28 qubits and
+//! kernel-engine groups: statevector scaling at 16/20/24/28 qubits,
 //! the fused/unfused/naive comparison that makes the engine's win
-//! measurable rather than claimed.
+//! measurable rather than claimed, and the layer-blocked vs per-op
+//! sweep comparison at 20 qubits.
 //!
 //! The 24q and 28q scaling cases allocate multi-GiB states and take
 //! tens of seconds per iteration; run this bench deliberately.
@@ -96,11 +97,40 @@ fn bench_fused_vs_unfused(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_layer_blocking(c: &mut Criterion) {
+    use qsim::Blocking;
+    let mut group = c.benchmark_group("statevector_layering");
+    group.sample_size(10);
+    // 20q sits right at LAYER_MIN_QUBITS: Auto and Force both layer,
+    // Off pays one full-state sweep per kernel op, so this group
+    // measures exactly what the blocked sweeps save.
+    let circuit = bench::clifford_t_circuit(20, 160);
+    for (name, blocking) in [("blocked", Blocking::Force), ("off", Blocking::Off)] {
+        group.bench_with_input(
+            BenchmarkId::new(name, "clifford_t_20q"),
+            &circuit,
+            |b, circuit| {
+                let config = ExecConfig {
+                    blocking,
+                    ..ExecConfig::default()
+                };
+                b.iter(|| {
+                    let mut sv = Statevector::zero(circuit.num_qubits()).expect("fits");
+                    sv.apply_circuit_with(circuit, &config).expect("fits");
+                    sv
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_statevector,
     bench_noisy_shots,
     bench_statevector_scaling,
-    bench_fused_vs_unfused
+    bench_fused_vs_unfused,
+    bench_layer_blocking
 );
 criterion_main!(benches);

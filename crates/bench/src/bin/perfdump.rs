@@ -16,7 +16,14 @@
 //! ```
 //!
 //! The smoke suite (rd53, rd84, 16q) finishes in seconds and is wired
-//! into CI so the emitter can never silently rot.
+//! into CI so the emitter can never silently rot. Before writing, the
+//! binary validates its own output against
+//! [`bench::schema::validate_qsim_bench_json`], so a schema drift
+//! fails the smoke run instead of producing a file the perf-history
+//! consumers can no longer read. `detected_workers` reports the
+//! engine's resolved worker count ([`qsim::resolved_workers`]) —
+//! `QSIM_WORKERS` override, detected parallelism, `MAX_WORKERS`
+//! clamp — not the raw hardware parallelism.
 
 use qcir::random::RandomCircuitConfig;
 use qsim::statevector::{ExecConfig, Statevector, MAX_QUBITS, PARALLEL_MIN_QUBITS};
@@ -146,6 +153,8 @@ fn main() {
     }
 
     let json = render_json(&cases, smoke);
+    bench::schema::validate_qsim_bench_json(&json)
+        .unwrap_or_else(|e| panic!("perfdump emitted a document violating its own schema: {e}"));
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("{json}");
     eprintln!("wrote {out}");
@@ -201,8 +210,9 @@ fn render_json(cases: &[CaseResult], smoke: bool) -> String {
          \"parallel_min_qubits\": {}, \"detected_workers\": {}}},\n  \"cases\": [\n{body}  ]\n}}\n",
         MAX_QUBITS,
         PARALLEL_MIN_QUBITS,
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
+        // The engine's own resolution (QSIM_WORKERS override, detected
+        // parallelism, MAX_WORKERS clamp) — the count the kernels
+        // actually use, not the raw hardware report.
+        qsim::resolved_workers(),
     )
 }

@@ -412,3 +412,170 @@ pub mod naive {
         }
     }
 }
+
+/// Structural validation for `BENCH_qsim.json`.
+///
+/// The workspace vendors no JSON parser, so these checks are
+/// line-oriented over the `perfdump` emitter's fixed layout: a header
+/// field set plus one case object per line. The binary validates its
+/// own output before writing it, and CI's smoke run revalidates the
+/// freshly emitted file, so schema drift between the emitter and the
+/// perf-history consumers fails loudly instead of rotting silently.
+pub mod schema {
+    /// Keys every case object must carry.
+    const CASE_KEYS: [&str; 8] = [
+        "name",
+        "qubits",
+        "gates",
+        "reps",
+        "fused_ms",
+        "unfused_ms",
+        "naive_ms",
+        "speedup_vs_naive",
+    ];
+
+    /// Checks that `json` has the `BENCH_qsim.json` schema-version-1
+    /// shape: the suite/header fields, an `engine` block whose
+    /// `detected_workers` is at least 1, and a non-empty case list in
+    /// which every case carries all eight per-case keys and a numeric
+    /// `fused_ms`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bench::schema::validate_qsim_bench_json;
+    ///
+    /// let doc = concat!(
+    ///     "{\n  \"suite\": \"qsim_statevector\",\n  \"schema_version\": 1,\n",
+    ///     "  \"smoke\": true,\n",
+    ///     "  \"engine\": {\"max_qubits\": 28, \"parallel_min_qubits\": 18, ",
+    ///     "\"detected_workers\": 4},\n  \"cases\": [\n",
+    ///     "    {\"name\": \"rd53\", \"qubits\": 7, \"gates\": 12, \"reps\": 3, ",
+    ///     "\"fused_ms\": 0.5, \"unfused_ms\": 0.6, \"naive_ms\": 1.0, ",
+    ///     "\"speedup_vs_naive\": 2.00}\n  ]\n}\n",
+    /// );
+    /// assert!(validate_qsim_bench_json(doc).is_ok());
+    /// assert!(validate_qsim_bench_json("{}").is_err());
+    /// ```
+    pub fn validate_qsim_bench_json(json: &str) -> Result<(), String> {
+        require(json, "\"suite\": \"qsim_statevector\"")?;
+        require(json, "\"schema_version\": 1")?;
+        if !json.contains("\"smoke\": true") && !json.contains("\"smoke\": false") {
+            return Err("missing boolean \"smoke\" field".into());
+        }
+        let max_qubits = uint_field(json, "max_qubits")?;
+        let parallel_min = uint_field(json, "parallel_min_qubits")?;
+        let workers = uint_field(json, "detected_workers")?;
+        if workers == 0 {
+            return Err("\"detected_workers\" must be at least 1".into());
+        }
+        if parallel_min > max_qubits {
+            return Err(format!(
+                "\"parallel_min_qubits\" ({parallel_min}) exceeds \"max_qubits\" ({max_qubits})"
+            ));
+        }
+        require(json, "\"cases\": [")?;
+        let cases: Vec<&str> = json
+            .lines()
+            .filter(|line| line.contains("\"name\":"))
+            .collect();
+        if cases.is_empty() {
+            return Err("\"cases\" holds no case objects".into());
+        }
+        for line in &cases {
+            for key in CASE_KEYS {
+                if !line.contains(&format!("\"{key}\":")) {
+                    return Err(format!("case object missing \"{key}\": {}", line.trim()));
+                }
+            }
+            if line.contains("\"fused_ms\": null") {
+                return Err(format!("case has null \"fused_ms\": {}", line.trim()));
+            }
+        }
+        Ok(())
+    }
+
+    fn require(json: &str, needle: &str) -> Result<(), String> {
+        if json.contains(needle) {
+            Ok(())
+        } else {
+            Err(format!("missing required fragment `{needle}`"))
+        }
+    }
+
+    /// Parses the unsigned integer following `"key": `.
+    fn uint_field(json: &str, key: &str) -> Result<u64, String> {
+        let marker = format!("\"{key}\": ");
+        let start = json
+            .find(&marker)
+            .ok_or_else(|| format!("missing \"{key}\" field"))?
+            + marker.len();
+        let digits: String = json[start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits
+            .parse()
+            .map_err(|_| format!("\"{key}\" is not an unsigned integer"))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn valid_doc() -> String {
+            concat!(
+                "{\n  \"suite\": \"qsim_statevector\",\n  \"schema_version\": 1,\n",
+                "  \"smoke\": false,\n",
+                "  \"engine\": {\"max_qubits\": 28, \"parallel_min_qubits\": 18, ",
+                "\"detected_workers\": 4},\n  \"cases\": [\n",
+                "    {\"name\": \"rd53\", \"qubits\": 7, \"gates\": 12, \"reps\": 3, ",
+                "\"fused_ms\": 0.5, \"unfused_ms\": 0.6, \"naive_ms\": 1.0, ",
+                "\"speedup_vs_naive\": 2.00},\n",
+                "    {\"name\": \"stimulus_20q_2trials\", \"qubits\": 20, \"gates\": 40, ",
+                "\"reps\": 3, \"fused_ms\": 9.1, \"unfused_ms\": null, \"naive_ms\": null, ",
+                "\"speedup_vs_naive\": null}\n  ]\n}\n",
+            )
+            .to_string()
+        }
+
+        #[test]
+        fn accepts_the_emitters_layout() {
+            validate_qsim_bench_json(&valid_doc()).expect("valid document");
+        }
+
+        #[test]
+        fn rejects_missing_case_key() {
+            let doc = valid_doc().replace("\"reps\": 3, ", "");
+            let err = validate_qsim_bench_json(&doc).unwrap_err();
+            assert!(err.contains("reps"), "got: {err}");
+        }
+
+        #[test]
+        fn rejects_zero_workers_and_empty_cases() {
+            let doc = valid_doc().replace("\"detected_workers\": 4", "\"detected_workers\": 0");
+            assert!(validate_qsim_bench_json(&doc)
+                .unwrap_err()
+                .contains("detected_workers"));
+
+            let doc = valid_doc()
+                .lines()
+                .filter(|l| !l.contains("\"name\":"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            assert!(validate_qsim_bench_json(&doc)
+                .unwrap_err()
+                .contains("no case objects"));
+        }
+
+        #[test]
+        fn rejects_null_fused_ms_and_wrong_suite() {
+            let doc = valid_doc().replace("\"fused_ms\": 0.5", "\"fused_ms\": null");
+            assert!(validate_qsim_bench_json(&doc)
+                .unwrap_err()
+                .contains("fused_ms"));
+            let doc = valid_doc().replace("qsim_statevector", "qsim_other");
+            assert!(validate_qsim_bench_json(&doc).is_err());
+        }
+    }
+}

@@ -146,6 +146,11 @@ pub struct Circuit {
     num_qubits: u32,
     name: String,
     instructions: Vec<Instruction>,
+    // Count of arity-1 instructions, maintained on every mutation so
+    // `single_qubit_gate_count` is O(1) — the statevector engine reads
+    // it per `apply_circuit` call to skip the fusion rewrite outright
+    // for circuits that cannot contain a fusable run.
+    oneq_gates: usize,
 }
 
 impl Circuit {
@@ -160,6 +165,7 @@ impl Circuit {
             num_qubits,
             name: String::new(),
             instructions: Vec::new(),
+            oneq_gates: 0,
         }
     }
 
@@ -204,6 +210,24 @@ impl Circuit {
         self.instructions.len()
     }
 
+    /// Number of single-qubit (arity-1) gates, maintained incrementally
+    /// so the check is O(1).
+    ///
+    /// The statevector engine uses this to skip the fusion stream
+    /// rewrite for circuits that cannot contain a fusable run — e.g.
+    /// the purely classical X/CX/CCX RevLib circuits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let mut c = qcir::Circuit::new(3);
+    /// c.h(0).cx(0, 1).t(2);
+    /// assert_eq!(c.single_qubit_gate_count(), 2);
+    /// ```
+    pub fn single_qubit_gate_count(&self) -> usize {
+        self.oneq_gates
+    }
+
     /// `true` if the circuit contains no gates.
     pub fn is_empty(&self) -> bool {
         self.instructions.is_empty()
@@ -223,6 +247,9 @@ impl Circuit {
                     num_qubits: self.num_qubits,
                 });
             }
+        }
+        if instruction.gate().arity() == 1 {
+            self.oneq_gates += 1;
         }
         self.instructions.push(instruction);
         Ok(())
@@ -259,6 +286,9 @@ impl Circuit {
                     num_qubits: self.num_qubits,
                 });
             }
+        }
+        if instruction.gate().arity() == 1 {
+            self.oneq_gates += 1;
         }
         self.instructions.insert(index, instruction);
         Ok(())
@@ -443,6 +473,8 @@ impl Circuit {
             .rev()
             .map(Instruction::adjoint)
             .collect();
+        // Adjoints preserve arity, so the count carries over.
+        inv.oneq_gates = self.oneq_gates;
         inv
     }
 
@@ -460,6 +492,7 @@ impl Circuit {
             )));
         }
         self.instructions.extend(other.instructions.iter().cloned());
+        self.oneq_gates += other.oneq_gates;
         Ok(())
     }
 
@@ -474,6 +507,7 @@ impl Circuit {
         let mut out = Circuit::with_name(self.num_qubits.max(other.num_qubits), self.name.clone());
         out.instructions = self.instructions.clone();
         out.instructions.extend(other.instructions.iter().cloned());
+        out.oneq_gates = self.oneq_gates + other.oneq_gates;
         Ok(out)
     }
 
@@ -614,6 +648,37 @@ mod tests {
         c.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.3, 2);
         assert_eq!(c.gate_count(), 4);
         assert_eq!(c.num_qubits(), 3);
+    }
+
+    #[test]
+    fn single_qubit_gate_count_tracks_every_mutation() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1);
+        assert_eq!(c.single_qubit_gate_count(), 2);
+
+        c.insert(1, Instruction::new(Gate::S, vec![Qubit::new(2)]).unwrap())
+            .unwrap();
+        c.insert(
+            0,
+            Instruction::new(Gate::CZ, vec![Qubit::new(0), Qubit::new(1)]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.single_qubit_gate_count(), 3);
+
+        assert_eq!(c.inverse().single_qubit_gate_count(), 3);
+
+        let mut other = Circuit::new(3);
+        other.x(2).ccx(0, 1, 2);
+        c.compose(&other).unwrap();
+        assert_eq!(c.single_qubit_gate_count(), 4);
+
+        let chained = c.then(&other).unwrap();
+        assert_eq!(chained.single_qubit_gate_count(), 5);
+
+        // The purely classical RevLib shape: no single-qubit gates.
+        let mut classical = Circuit::new(3);
+        classical.x(0).cx(0, 1).ccx(0, 1, 2);
+        assert_eq!(classical.single_qubit_gate_count(), 1); // X is arity 1
     }
 
     #[test]

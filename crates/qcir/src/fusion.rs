@@ -127,6 +127,235 @@ fn flush<'c>(pending: &mut Vec<&'c Gate>, qubit: Qubit, out: &mut Vec<FusedOp<'c
     }
 }
 
+// ---------------------------------------------------------------------
+// Kernel cost model
+// ---------------------------------------------------------------------
+//
+// Fusing a run is only a win when the single fused pass is cheaper than
+// the specialized per-gate passes it displaces. A diagonal gate is a
+// phase scan touching half the amplitude array; an X is a swap walk
+// with no arithmetic; only genuinely dense 2×2 gates pay the full
+// pair-rotation kernel. The PR-4 engine fused unconditionally and
+// *lost* on Clifford+T workloads whose runs are mostly cheap gates
+// (e.g. `X·T` fused into a dense kernel costs more compute than a swap
+// plus a half-array phase scan). The functions below let the simulator
+// predict, structurally and without any complex arithmetic, both the
+// kernel class of a run's 2×2 product and the relative sweep cost of
+// fused vs unfused application — and skip fusion when it loses.
+
+/// Structural kernel class of a single-qubit gate or fused-run product.
+///
+/// The class of a product follows from the factors alone — no matrix
+/// arithmetic needed: diagonal·diagonal and an even number of
+/// antidiagonal factors stay diagonal, an odd antidiagonal count makes
+/// the product antidiagonal, and any dense factor makes it dense.
+///
+/// # Example
+///
+/// ```
+/// use qcir::fusion::{run_kernel_class, KernelClass};
+/// use qcir::Gate;
+///
+/// // X·T is antidiagonal: one swap-with-phase pass, not a dense kernel.
+/// assert_eq!(
+///     run_kernel_class(&[&Gate::X, &Gate::T]),
+///     KernelClass::Antidiagonal
+/// );
+/// // X·T·X is diagonal again (even antidiagonal parity).
+/// assert_eq!(
+///     run_kernel_class(&[&Gate::X, &Gate::T, &Gate::X]),
+///     KernelClass::Diagonal
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Both off-diagonal entries exactly zero: a pure phase scan.
+    Diagonal,
+    /// Both diagonal entries exactly zero: a swap-with-phase pass.
+    Antidiagonal,
+    /// Dense 2×2: the full pair-rotation kernel.
+    General,
+}
+
+/// Execution regime the cost model prices for.
+///
+/// Below the last-level cache the kernels are compute-bound and the
+/// arithmetic per amplitude dominates; once the state outgrows cache
+/// they are memory-bound and the number of full-array sweeps is all
+/// that matters (every pass streams the same bytes, so fusing always
+/// saves traffic). The simulator picks the regime from the register
+/// size; see `qsim::statevector::MEM_BOUND_MIN_QUBITS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostRegime {
+    /// State fits in cache: weight arithmetic, sweeps are cheap.
+    ComputeBound,
+    /// State streams from memory: weight sweeps, arithmetic is free.
+    MemoryBound,
+}
+
+/// Kernel class of a single-qubit gate, or `None` for multi-qubit
+/// gates (which never participate in runs).
+pub fn gate_kernel_class(gate: &Gate) -> Option<KernelClass> {
+    match gate {
+        Gate::I
+        | Gate::Z
+        | Gate::S
+        | Gate::Sdg
+        | Gate::T
+        | Gate::Tdg
+        | Gate::P(_)
+        | Gate::Rz(_) => Some(KernelClass::Diagonal),
+        Gate::X | Gate::Y => Some(KernelClass::Antidiagonal),
+        Gate::H | Gate::Sx | Gate::Sxdg | Gate::Rx(_) | Gate::Ry(_) | Gate::U(..) => {
+            Some(KernelClass::General)
+        }
+        _ => None,
+    }
+}
+
+/// Kernel class of the 2×2 product of a run (`gates[0]` acts first).
+///
+/// # Panics
+///
+/// Panics if any gate is not single-qubit.
+pub fn run_kernel_class(gates: &[&Gate]) -> KernelClass {
+    let mut anti_parity = false;
+    for gate in gates {
+        match gate_kernel_class(gate).expect("runs contain only single-qubit gates") {
+            KernelClass::General => return KernelClass::General,
+            KernelClass::Antidiagonal => anti_parity = !anti_parity,
+            KernelClass::Diagonal => {}
+        }
+    }
+    if anti_parity {
+        KernelClass::Antidiagonal
+    } else {
+        KernelClass::Diagonal
+    }
+}
+
+/// `true` for diagonal gates whose `|0⟩` entry is exactly 1 (Z, S, T,
+/// P…), i.e. the phase scan touches only the `|1⟩` half of the array.
+fn is_pure_phase(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::I | Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::P(_)
+    )
+}
+
+/// Relative cost of one application of `gate` through its specialized
+/// kernel path, in sweeps-of-the-array units (1.0 ≈ one full
+/// read-modify-write pass with one complex multiply per amplitude).
+///
+/// Multi-qubit gates are priced too so [`plan_cost`] can compare whole
+/// circuits; their cost is identical under both plans, so only the
+/// single-qubit entries affect fusion decisions.
+pub fn gate_sweep_cost(gate: &Gate, regime: CostRegime) -> f64 {
+    // Dense kernels pay four complex multiplies per pair;
+    // compute-bound that is ~2 sweeps' worth of work, memory-bound it
+    // is still just one pass.
+    let dense = match regime {
+        CostRegime::ComputeBound => 2.0,
+        CostRegime::MemoryBound => 1.0,
+    };
+    match gate {
+        Gate::I => 0.0,
+        // Phase-only diagonals touch the |1⟩ half of the array.
+        Gate::Z | Gate::S | Gate::Sdg | Gate::T | Gate::Tdg | Gate::P(_) => 0.5,
+        // Rz multiplies both halves.
+        Gate::Rz(_) => 1.0,
+        // X is a swap walk: full traffic but zero arithmetic.
+        Gate::X => match regime {
+            CostRegime::ComputeBound => 0.4,
+            CostRegime::MemoryBound => 1.0,
+        },
+        // Y is an antidiagonal pass: one multiply per amplitude.
+        Gate::Y => 1.0,
+        // Dense single-qubit kernels (pair-rotation path).
+        Gate::H | Gate::Sx | Gate::Sxdg | Gate::Rx(_) | Gate::Ry(_) | Gate::U(..) => dense,
+        // Controlled phases touch a quarter of the array.
+        Gate::CZ | Gate::CP(_) => 0.25,
+        // CRz is two controlled-phase passes.
+        Gate::CRz(_) => 0.5,
+        // Permutation walks: swaps over the controlled subset.
+        Gate::CX | Gate::CCX | Gate::Mcx(_) | Gate::Swap | Gate::CSwap => 0.5,
+        // Dense two-qubit kernel (CY/CH).
+        Gate::CY | Gate::CH => dense,
+    }
+}
+
+/// Relative cost of applying a run's 2×2 product with the kernel its
+/// [`run_kernel_class`] routes to.
+pub fn fused_sweep_cost(gates: &[&Gate], regime: CostRegime) -> f64 {
+    match run_kernel_class(gates) {
+        KernelClass::Diagonal => {
+            // A product of pure-phase gates keeps d0 = 1 exactly, so
+            // the fused scan still touches only the |1⟩ half.
+            if gates.iter().all(|g| is_pure_phase(g)) {
+                0.5
+            } else {
+                1.0
+            }
+        }
+        KernelClass::Antidiagonal => 1.0,
+        KernelClass::General => match regime {
+            CostRegime::ComputeBound => 2.0,
+            CostRegime::MemoryBound => 1.0,
+        },
+    }
+}
+
+/// `true` if applying the run as one fused kernel is strictly cheaper
+/// than the specialized per-gate paths it displaces. Unit runs never
+/// fuse (there is nothing to save).
+///
+/// # Example
+///
+/// ```
+/// use qcir::fusion::{fusion_wins, CostRegime};
+/// use qcir::Gate;
+///
+/// // In cache, a swap walk plus a half-array phase scan beats one
+/// // antidiagonal multiply pass — fusion is skipped…
+/// assert!(!fusion_wins(&[&Gate::X, &Gate::T], CostRegime::ComputeBound));
+/// // …but once the state streams from memory, fewer sweeps always win.
+/// assert!(fusion_wins(&[&Gate::X, &Gate::T], CostRegime::MemoryBound));
+/// // Dense runs fuse in both regimes.
+/// assert!(fusion_wins(&[&Gate::H, &Gate::T], CostRegime::ComputeBound));
+/// ```
+pub fn fusion_wins(gates: &[&Gate], regime: CostRegime) -> bool {
+    if gates.len() < 2 {
+        return false;
+    }
+    let individual: f64 = gates.iter().map(|g| gate_sweep_cost(g, regime)).sum();
+    fused_sweep_cost(gates, regime) < individual
+}
+
+/// Model cost of executing `circuit` with (`fuse = true`) or without
+/// the cost-gated fusion pre-pass, in [`gate_sweep_cost`] units.
+///
+/// Because a run is fused only when [`fusion_wins`], the fused plan is
+/// never costlier than the unfused one — the invariant the regression
+/// suite pins so the 16-qubit fusion loss of the ungated engine cannot
+/// return.
+pub fn plan_cost(circuit: &Circuit, fuse: bool, regime: CostRegime) -> f64 {
+    let mut total = 0.0;
+    for op in fused_stream(circuit) {
+        match op {
+            FusedOp::Single(inst) => total += gate_sweep_cost(inst.gate(), regime),
+            FusedOp::Run(run) => {
+                let individual: f64 = run.gates.iter().map(|g| gate_sweep_cost(g, regime)).sum();
+                if fuse && fusion_wins(&run.gates, regime) {
+                    total += fused_sweep_cost(&run.gates, regime);
+                } else {
+                    total += individual;
+                }
+            }
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +470,93 @@ mod tests {
     #[test]
     fn empty_circuit_yields_empty_stream() {
         assert!(fused_stream(&Circuit::new(3)).is_empty());
+    }
+
+    #[test]
+    fn kernel_class_algebra_tracks_antidiagonal_parity() {
+        use KernelClass::*;
+        assert_eq!(run_kernel_class(&[&Gate::T, &Gate::S]), Diagonal);
+        assert_eq!(run_kernel_class(&[&Gate::X, &Gate::T]), Antidiagonal);
+        assert_eq!(run_kernel_class(&[&Gate::X, &Gate::Y]), Diagonal);
+        assert_eq!(
+            run_kernel_class(&[&Gate::X, &Gate::T, &Gate::Y, &Gate::Z]),
+            Diagonal
+        );
+        assert_eq!(run_kernel_class(&[&Gate::X, &Gate::H]), General);
+        assert_eq!(run_kernel_class(&[&Gate::Rz(0.2), &Gate::Y]), Antidiagonal);
+        assert_eq!(gate_kernel_class(&Gate::CX), None);
+        assert_eq!(gate_kernel_class(&Gate::Sx), Some(General));
+    }
+
+    #[test]
+    fn fusion_decisions_follow_the_regime() {
+        use CostRegime::*;
+        // Diagonal runs always win: one half-array scan replaces two.
+        assert!(fusion_wins(&[&Gate::S, &Gate::T], ComputeBound));
+        assert!(fusion_wins(&[&Gate::S, &Gate::T], MemoryBound));
+        // The PR-4 regression case: X·T fused into a dense/antidiagonal
+        // kernel loses to swap + half-scan while the state is in cache…
+        assert!(!fusion_wins(&[&Gate::X, &Gate::T], ComputeBound));
+        assert!(!fusion_wins(&[&Gate::T, &Gate::X], ComputeBound));
+        // …but wins once every pass streams from DRAM.
+        assert!(fusion_wins(&[&Gate::X, &Gate::T], MemoryBound));
+        // Dense runs win in both regimes.
+        assert!(fusion_wins(&[&Gate::H, &Gate::T], ComputeBound));
+        assert!(fusion_wins(&[&Gate::H, &Gate::T], MemoryBound));
+        assert!(fusion_wins(
+            &[&Gate::H, &Gate::X, &Gate::Rz(0.5)],
+            ComputeBound
+        ));
+        // Unit runs never fuse.
+        assert!(!fusion_wins(&[&Gate::H], ComputeBound));
+        assert!(!fusion_wins(&[&Gate::H], MemoryBound));
+    }
+
+    #[test]
+    fn fused_cost_distinguishes_pure_phase_from_general_diagonal() {
+        use CostRegime::*;
+        // S·T keeps d0 = 1 exactly: still a half-array scan.
+        assert_eq!(fused_sweep_cost(&[&Gate::S, &Gate::T], ComputeBound), 0.5);
+        // An Rz factor scales both halves.
+        assert_eq!(
+            fused_sweep_cost(&[&Gate::S, &Gate::Rz(0.1)], ComputeBound),
+            1.0
+        );
+        // Antidiagonal product: one multiply per amplitude.
+        assert_eq!(fused_sweep_cost(&[&Gate::X, &Gate::T], MemoryBound), 1.0);
+    }
+
+    #[test]
+    fn plan_cost_fused_never_exceeds_unfused() {
+        // By construction (each run takes min(fused, unfused)), but pin
+        // it: the bench regression suite relies on this invariant.
+        let mut c = Circuit::new(6);
+        c.x(0)
+            .t(0)
+            .cx(0, 1)
+            .h(2)
+            .t(2)
+            .s(2)
+            .x(3)
+            .z(3)
+            .rz(0.3, 3)
+            .ccx(1, 2, 3)
+            .y(4)
+            .x(4)
+            .t(5)
+            .tdg(5)
+            .crz(0.7, 4, 5);
+        for regime in [CostRegime::ComputeBound, CostRegime::MemoryBound] {
+            let fused = plan_cost(&c, true, regime);
+            let unfused = plan_cost(&c, false, regime);
+            assert!(
+                fused <= unfused,
+                "fused {fused} > unfused {unfused} in {regime:?}"
+            );
+        }
+        // And the gate-cost table keeps multi-qubit costs regime-comparable.
+        assert_eq!(gate_sweep_cost(&Gate::I, CostRegime::ComputeBound), 0.0);
+        assert_eq!(gate_sweep_cost(&Gate::CZ, CostRegime::MemoryBound), 0.25);
     }
 
     #[test]

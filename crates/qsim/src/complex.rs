@@ -3,6 +3,14 @@
 //! The workspace deliberately avoids external numerics crates; this module
 //! provides the small slice of complex arithmetic a statevector simulator
 //! needs.
+//!
+//! The arithmetic operators are `#[inline]` so the kernel crates' lane-
+//! blocked loops see the component formulas directly (cross-crate calls
+//! would otherwise block autovectorization in non-LTO builds). The
+//! formulas use plain IEEE multiplies and adds — Rust never contracts
+//! them into FMAs behind the source — so results are bit-identical
+//! across call sites, which the simulator's determinism contract
+//! (identical amplitudes for any worker count) relies on.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -37,11 +45,13 @@ impl C64 {
     pub const I: C64 = C64 { re: 0.0, im: 1.0 };
 
     /// Creates a complex number from real and imaginary parts.
+    #[inline]
     pub const fn new(re: f64, im: f64) -> Self {
         C64 { re, im }
     }
 
     /// Creates a real-valued complex number.
+    #[inline]
     pub const fn real(re: f64) -> Self {
         C64 { re, im: 0.0 }
     }
@@ -60,6 +70,7 @@ impl C64 {
     }
 
     /// Complex conjugate.
+    #[inline]
     pub fn conj(self) -> Self {
         C64 {
             re: self.re,
@@ -68,6 +79,7 @@ impl C64 {
     }
 
     /// Squared modulus `|z|²` (the Born-rule probability weight).
+    #[inline]
     pub fn norm_sqr(self) -> f64 {
         self.re * self.re + self.im * self.im
     }
@@ -83,6 +95,7 @@ impl C64 {
     }
 
     /// `true` if both components are within `eps` of `other`'s.
+    #[inline]
     pub fn approx_eq(self, other: C64, eps: f64) -> bool {
         (self.re - other.re).abs() <= eps && (self.im - other.im).abs() <= eps
     }
@@ -103,6 +116,7 @@ impl C64 {
     }
 
     /// Scales by a real factor.
+    #[inline]
     pub fn scale(self, k: f64) -> Self {
         C64 {
             re: self.re * k,
@@ -119,12 +133,14 @@ impl From<f64> for C64 {
 
 impl Add for C64 {
     type Output = C64;
+    #[inline]
     fn add(self, rhs: C64) -> C64 {
         C64::new(self.re + rhs.re, self.im + rhs.im)
     }
 }
 
 impl AddAssign for C64 {
+    #[inline]
     fn add_assign(&mut self, rhs: C64) {
         self.re += rhs.re;
         self.im += rhs.im;
@@ -133,12 +149,14 @@ impl AddAssign for C64 {
 
 impl Sub for C64 {
     type Output = C64;
+    #[inline]
     fn sub(self, rhs: C64) -> C64 {
         C64::new(self.re - rhs.re, self.im - rhs.im)
     }
 }
 
 impl SubAssign for C64 {
+    #[inline]
     fn sub_assign(&mut self, rhs: C64) {
         self.re -= rhs.re;
         self.im -= rhs.im;
@@ -147,6 +165,7 @@ impl SubAssign for C64 {
 
 impl Mul for C64 {
     type Output = C64;
+    #[inline]
     fn mul(self, rhs: C64) -> C64 {
         C64::new(
             self.re * rhs.re - self.im * rhs.im,
@@ -156,6 +175,7 @@ impl Mul for C64 {
 }
 
 impl MulAssign for C64 {
+    #[inline]
     fn mul_assign(&mut self, rhs: C64) {
         *self = *self * rhs;
     }
@@ -163,6 +183,7 @@ impl MulAssign for C64 {
 
 impl Mul<f64> for C64 {
     type Output = C64;
+    #[inline]
     fn mul(self, rhs: f64) -> C64 {
         self.scale(rhs)
     }
@@ -179,6 +200,7 @@ impl Div for C64 {
 
 impl Neg for C64 {
     type Output = C64;
+    #[inline]
     fn neg(self) -> C64 {
         C64::new(-self.re, -self.im)
     }

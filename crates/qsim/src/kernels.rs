@@ -24,28 +24,39 @@
 //! Above [`PARALLEL_MIN_QUBITS`] qubits the drivers split the array
 //! into power-of-two aligned chunks (alignment ≥ `2^{t+1}` for the
 //! highest *paired* bit, so every pair stays chunk-local; control bits
-//! only need an offset check) and apply the same kernels across
-//! `std::thread::scope` workers. When the paired bit is too high for
-//! aligned chunking to produce enough chunks, the 1q and MCX kernels
-//! (which cover every gate of the Clifford+T and classical-reversible
-//! workloads except the diagonal family, itself alignment-free) fall
-//! back to a pair driver that splits each `2^{t+1}` block at its
-//! midpoint and zips sub-chunks of the two halves, preserving full
-//! parallelism for top-bit targets; the rarer Swap/CSwap/CY/CH kernels
-//! simply degrade to fewer chunks there.
+//! only need an offset check) and apply the same kernels across the
+//! persistent worker pool in [`crate::pool`] (spawned once per
+//! process, work distributed by state-slab range). When the paired bit
+//! is too high for aligned chunking to produce enough chunks, the 1q
+//! and MCX kernels (which cover every gate of the Clifford+T and
+//! classical-reversible workloads except the diagonal family, itself
+//! alignment-free) fall back to a pair driver that splits each
+//! `2^{t+1}` block at its midpoint and zips sub-chunks of the two
+//! halves, preserving full parallelism for top-bit targets; the rarer
+//! Swap/CSwap/CY/CH kernels simply degrade to fewer chunks there.
+//!
+//! The arithmetic-heavy inner loops (pair rotation, antidiagonal, and
+//! diagonal scaling) are blocked into fixed-width lanes of [`LANES`]
+//! amplitudes so the autovectorizer sees straight-line independent
+//! complex multiplies; the remainder path reuses the *same*
+//! `#[inline(always)]` per-element formula, so lane and scalar paths
+//! are bit-identical — the determinism contract (same amplitudes for
+//! any worker count or chunk layout) is enforced by the equivalence
+//! suite, not by inspecting the generated assembly.
 
 use crate::complex::C64;
 use crate::matrix::Matrix;
-use std::sync::OnceLock;
+use crate::pool;
 
 /// Register size at which `apply` starts splitting kernels across
 /// worker threads (`2¹⁸` amplitudes ≈ 4 MiB); below it the spawn cost
 /// outweighs the win.
 pub const PARALLEL_MIN_QUBITS: u32 = 18;
 
-/// Upper bound on kernel worker threads (beyond ~8 the kernels are
-/// memory-bandwidth-bound and extra workers only contend).
-const MAX_WORKERS: usize = 8;
+/// Lane width of the blocked inner loops: 8 × `f64` per component
+/// matches one AVX-512 or two AVX2/NEON-pair registers, and a fixed
+/// trip count lets LLVM fully unroll and vectorize the block.
+const LANES: usize = 8;
 
 /// Worker-thread policy for one kernel invocation.
 #[derive(Debug, Clone, Copy)]
@@ -64,14 +75,14 @@ impl Threading {
     }
 
     /// A policy with an explicit worker count (`0` = auto-detect).
-    /// Explicit counts are clamped to [`MAX_WORKERS`] like the
+    /// Explicit counts are clamped to [`pool::MAX_WORKERS`] like the
     /// auto-detected ones — the kernels are memory-bandwidth-bound and
     /// oversubscription only contends.
     pub fn with_workers(workers: usize) -> Self {
         let workers = if workers == 0 {
-            default_workers()
+            pool::default_workers()
         } else {
-            workers.min(MAX_WORKERS)
+            workers.min(pool::MAX_WORKERS)
         };
         Threading {
             workers,
@@ -87,16 +98,6 @@ impl Threading {
             min_amps: usize::MAX,
         }
     }
-}
-
-fn default_workers() -> usize {
-    static WORKERS: OnceLock<usize> = OnceLock::new();
-    *WORKERS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(MAX_WORKERS)
-    })
 }
 
 /// A dense 2×2 complex matrix in row-major order — the payload of the
@@ -130,6 +131,13 @@ impl Mat2 {
     /// rounding into the off-diagonal zeros).
     pub fn is_diagonal(&self) -> bool {
         self.m01 == C64::ZERO && self.m10 == C64::ZERO
+    }
+
+    /// `true` if both diagonal entries are exactly zero — products of
+    /// an odd number of antidiagonal factors (X, Y) with diagonal ones
+    /// keep exact zeros on the diagonal for the same reason.
+    pub fn is_antidiagonal(&self) -> bool {
+        self.m00 == C64::ZERO && self.m11 == C64::ZERO
     }
 }
 
@@ -177,7 +185,7 @@ fn plan_chunks(len: usize, align: usize, th: Threading) -> Option<usize> {
 
 /// Runs `kernel(chunk_offset, chunk)` over aligned chunks of `amps`,
 /// in parallel when [`plan_chunks`] allows, inline otherwise.
-fn run_chunks(
+pub(crate) fn run_chunks(
     amps: &mut [C64],
     align: usize,
     th: Threading,
@@ -185,7 +193,7 @@ fn run_chunks(
 ) {
     match plan_chunks(amps.len(), align, th) {
         None => kernel(0, amps),
-        Some(size) => std::thread::scope(|scope| {
+        Some(size) => pool::scope(th.workers, |scope| {
             for (i, chunk) in amps.chunks_mut(size).enumerate() {
                 scope.spawn(move || kernel(i * size, chunk));
             }
@@ -213,7 +221,7 @@ fn run_pair_slabs(
     }
     let per_block = prev_pow2((th.workers / nblocks).max(1)).min(pbit);
     let sub = pbit / per_block;
-    std::thread::scope(|scope| {
+    pool::scope(th.workers, |scope| {
         for (bi, block) in amps.chunks_mut(2 * pbit).enumerate() {
             let (lo, hi) = block.split_at_mut(pbit);
             for (ci, (lc, hc)) in lo.chunks_mut(sub).zip(hi.chunks_mut(sub)).enumerate() {
@@ -241,21 +249,94 @@ pub(crate) fn apply_1q(amps: &mut [C64], th: Threading, tbit: usize, m: Mat2) {
 
 /// Single-qubit kernel over a chunk whose length is a multiple of
 /// `2 * tbit`.
-fn oneq_chunk(chunk: &mut [C64], tbit: usize, m: Mat2) {
+pub(crate) fn oneq_chunk(chunk: &mut [C64], tbit: usize, m: Mat2) {
     for block in chunk.chunks_exact_mut(2 * tbit) {
         let (lo, hi) = block.split_at_mut(tbit);
         oneq_pair(lo, hi, m);
     }
 }
 
+/// The per-pair rotation — the one definition both the lane-blocked
+/// loop and the remainder use, so the two paths are bit-identical.
+#[inline(always)]
+fn rotate_pair(m: &Mat2, a0: C64, a1: C64) -> (C64, C64) {
+    (m.m00 * a0 + m.m01 * a1, m.m10 * a0 + m.m11 * a1)
+}
+
 /// The innermost pair loop: `j`-th elements of `lo` and `hi` form the
-/// `(|…0…⟩, |…1…⟩)` amplitude pairs.
+/// `(|…0…⟩, |…1…⟩)` amplitude pairs. Blocked into [`LANES`]-wide
+/// groups of independent rotations for the autovectorizer.
 fn oneq_pair(lo: &mut [C64], hi: &mut [C64], m: Mat2) {
-    for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-        let a0 = *a;
-        let a1 = *b;
-        *a = m.m00 * a0 + m.m01 * a1;
-        *b = m.m10 * a0 + m.m11 * a1;
+    let mut lo_lanes = lo.chunks_exact_mut(LANES);
+    let mut hi_lanes = hi.chunks_exact_mut(LANES);
+    for (lc, hc) in (&mut lo_lanes).zip(&mut hi_lanes) {
+        for j in 0..LANES {
+            let (r0, r1) = rotate_pair(&m, lc[j], hc[j]);
+            lc[j] = r0;
+            hc[j] = r1;
+        }
+    }
+    for (a, b) in lo_lanes
+        .into_remainder()
+        .iter_mut()
+        .zip(hi_lanes.into_remainder())
+    {
+        let (r0, r1) = rotate_pair(&m, *a, *b);
+        *a = r0;
+        *b = r1;
+    }
+}
+
+/// Applies an antidiagonal single-qubit unitary (`m00 = m11 = 0`) on
+/// target bit `tbit`: `lo' = a01·hi`, `hi' = a10·lo` — one complex
+/// multiply per amplitude instead of the dense kernel's four. X·T-style
+/// fused runs route here.
+pub(crate) fn apply_anti1(amps: &mut [C64], th: Threading, tbit: usize, a01: C64, a10: C64) {
+    let block = 2 * tbit;
+    if plan_chunks(amps.len(), block, th).is_some() {
+        run_chunks(amps, block, th, &|_, chunk| {
+            anti1_chunk(chunk, tbit, a01, a10)
+        });
+    } else if th.workers >= 2 && amps.len() >= th.min_amps {
+        run_pair_slabs(amps, tbit, th, &|_, lo, hi| anti1_pair(lo, hi, a01, a10));
+    } else {
+        anti1_chunk(amps, tbit, a01, a10);
+    }
+}
+
+/// Antidiagonal kernel over a chunk whose length is a multiple of
+/// `2 * tbit`.
+pub(crate) fn anti1_chunk(chunk: &mut [C64], tbit: usize, a01: C64, a10: C64) {
+    for block in chunk.chunks_exact_mut(2 * tbit) {
+        let (lo, hi) = block.split_at_mut(tbit);
+        anti1_pair(lo, hi, a01, a10);
+    }
+}
+
+/// Shared per-pair formula for the antidiagonal kernel.
+#[inline(always)]
+fn cross_pair(a01: C64, a10: C64, a0: C64, a1: C64) -> (C64, C64) {
+    (a01 * a1, a10 * a0)
+}
+
+fn anti1_pair(lo: &mut [C64], hi: &mut [C64], a01: C64, a10: C64) {
+    let mut lo_lanes = lo.chunks_exact_mut(LANES);
+    let mut hi_lanes = hi.chunks_exact_mut(LANES);
+    for (lc, hc) in (&mut lo_lanes).zip(&mut hi_lanes) {
+        for j in 0..LANES {
+            let (r0, r1) = cross_pair(a01, a10, lc[j], hc[j]);
+            lc[j] = r0;
+            hc[j] = r1;
+        }
+    }
+    for (a, b) in lo_lanes
+        .into_remainder()
+        .iter_mut()
+        .zip(hi_lanes.into_remainder())
+    {
+        let (r0, r1) = cross_pair(a01, a10, *a, *b);
+        *a = r0;
+        *b = r1;
     }
 }
 
@@ -283,7 +364,7 @@ pub(crate) fn apply_mcx(amps: &mut [C64], th: Threading, cmask: usize, tbit: usi
 /// MCX kernel over a chunk whose length is a multiple of `2 * tbit`;
 /// `offset` is the chunk's global base index (for control bits above
 /// the block size).
-fn mcx_chunk(chunk: &mut [C64], offset: usize, cmask: usize, tbit: usize) {
+pub(crate) fn mcx_chunk(chunk: &mut [C64], offset: usize, cmask: usize, tbit: usize) {
     let cm_low = cmask & (tbit - 1);
     let cm_above = cmask & !(2 * tbit - 1);
     let live = (tbit - 1) & !cm_low;
@@ -334,7 +415,7 @@ pub(crate) fn apply_swap(amps: &mut [C64], th: Threading, cmask: usize, abit: us
 /// Swap kernel over a chunk whose length is a multiple of `2 * bbit`
 /// (`abit < bbit`): exchanges `|…a=1,b=0…⟩ ↔ |…a=0,b=1…⟩` where the
 /// controls are satisfied.
-fn swap_chunk(chunk: &mut [C64], offset: usize, cmask: usize, abit: usize, bbit: usize) {
+pub(crate) fn swap_chunk(chunk: &mut [C64], offset: usize, cmask: usize, abit: usize, bbit: usize) {
     let cm_low = cmask & (bbit - 1);
     let cm_above = cmask & !(2 * bbit - 1);
     let live = (bbit - 1) & !abit & !cm_low;
@@ -362,29 +443,35 @@ pub(crate) fn apply_diag1(amps: &mut [C64], th: Threading, tbit: usize, d0: C64,
     });
 }
 
-fn diag1_chunk(chunk: &mut [C64], offset: usize, tbit: usize, d0: C64, d1: C64) {
+pub(crate) fn diag1_chunk(chunk: &mut [C64], offset: usize, tbit: usize, d0: C64, d1: C64) {
     if tbit >= chunk.len() {
         // The target bit is constant across this chunk.
         let d = if offset & tbit != 0 { d1 } else { d0 };
-        if d != C64::ONE {
-            for a in chunk.iter_mut() {
-                *a *= d;
-            }
-        }
+        scale_slice(chunk, d);
         return;
     }
     for block in chunk.chunks_exact_mut(2 * tbit) {
         let (lo, hi) = block.split_at_mut(tbit);
-        if d0 != C64::ONE {
-            for a in lo.iter_mut() {
-                *a *= d0;
-            }
+        scale_slice(lo, d0);
+        scale_slice(hi, d1);
+    }
+}
+
+/// Multiplies every amplitude of `s` by `d`, lane-blocked; skips the
+/// pass entirely for an exact-unit factor (the `|0⟩` half of T-like
+/// phase gates).
+fn scale_slice(s: &mut [C64], d: C64) {
+    if d == C64::ONE {
+        return;
+    }
+    let mut lanes = s.chunks_exact_mut(LANES);
+    for lane in &mut lanes {
+        for a in lane.iter_mut() {
+            *a *= d;
         }
-        if d1 != C64::ONE {
-            for a in hi.iter_mut() {
-                *a *= d1;
-            }
-        }
+    }
+    for a in lanes.into_remainder() {
+        *a *= d;
     }
 }
 
@@ -403,7 +490,13 @@ pub(crate) fn apply_phase(
     });
 }
 
-fn phase_chunk(chunk: &mut [C64], offset: usize, set_mask: usize, clear_mask: usize, phase: C64) {
+pub(crate) fn phase_chunk(
+    chunk: &mut [C64],
+    offset: usize,
+    set_mask: usize,
+    clear_mask: usize,
+    phase: C64,
+) {
     let in_mask = chunk.len() - 1;
     let s_out = set_mask & !in_mask;
     let c_out = clear_mask & !in_mask;
@@ -430,7 +523,7 @@ pub(crate) fn apply_2q(amps: &mut [C64], th: Threading, p0: usize, p1: usize, m:
     run_chunks(amps, 2 * shi, th, &|_, chunk| twoq_chunk(chunk, p0, p1, m));
 }
 
-fn twoq_chunk(chunk: &mut [C64], p0: usize, p1: usize, m: &Matrix) {
+pub(crate) fn twoq_chunk(chunk: &mut [C64], p0: usize, p1: usize, m: &Matrix) {
     let (slo, shi) = (p0.min(p1), p0.max(p1));
     // For matrix basis index t, operand 0 is bit 0 of t and operand 1
     // is bit 1; locate the amplitude in the (lo, hi) half and at which
@@ -479,7 +572,7 @@ pub(crate) fn apply_kq(amps: &mut [C64], th: Threading, bits: &[usize], m: &Matr
     run_chunks(amps, 2 * maxbit, th, &|_, chunk| kq_chunk(chunk, bits, m));
 }
 
-fn kq_chunk(chunk: &mut [C64], bits: &[usize], m: &Matrix) {
+pub(crate) fn kq_chunk(chunk: &mut [C64], bits: &[usize], m: &Matrix) {
     let dim = 1usize << bits.len();
     let mask: usize = bits.iter().sum();
     let mut gathered = vec![C64::ZERO; dim];
@@ -511,7 +604,7 @@ mod tests {
     use super::*;
     use crate::matrix::gate_matrix;
     use crate::statevector::reference;
-    use crate::statevector::{ExecConfig, Statevector};
+    use crate::statevector::{Blocking, ExecConfig, Statevector};
     use proptest::prelude::*;
     use qcir::random::RandomCircuitConfig;
     use qcir::{Circuit, Gate};
@@ -684,6 +777,7 @@ mod tests {
                 &ExecConfig {
                     fuse: false,
                     threads: 1,
+                    blocking: Blocking::Off,
                 },
             )
             .unwrap();
@@ -696,10 +790,28 @@ mod tests {
                 &ExecConfig {
                     fuse: true,
                     threads: 1,
+                    blocking: Blocking::Off,
                 },
             )
             .unwrap();
         assert_states_match(fused.amplitudes(), &expected, &format!("{context}: fused"));
+
+        let mut layered = Statevector::zero(n).unwrap();
+        layered
+            .apply_circuit_with(
+                circuit,
+                &ExecConfig {
+                    fuse: true,
+                    threads: 1,
+                    blocking: Blocking::Force,
+                },
+            )
+            .unwrap();
+        assert_states_match(
+            layered.amplitudes(),
+            &expected,
+            &format!("{context}: layered"),
+        );
 
         // Forced threading exercises the chunked/pair-slab drivers even
         // though the register is small.
@@ -718,6 +830,7 @@ mod tests {
         match inst.gate() {
             Gate::I => {}
             Gate::X => apply_mcx(amps, th, 0, bit(0)),
+            Gate::Y => apply_anti1(amps, th, bit(0), -C64::I, C64::I),
             Gate::Z => apply_diag1(amps, th, bit(0), C64::ONE, -C64::ONE),
             Gate::S => apply_diag1(amps, th, bit(0), C64::ONE, C64::I),
             Gate::Sdg => apply_diag1(amps, th, bit(0), C64::ONE, -C64::I),

@@ -7,9 +7,11 @@
 //!
 //! * [`Statevector`] — dense pure-state simulation up to
 //!   [`statevector::MAX_QUBITS`] qubits on a layered kernel engine:
-//!   branch-free stride loops, diagonal/permutation fast paths,
-//!   single-qubit gate fusion, and multi-threaded application for wide
-//!   registers.
+//!   branch-free stride loops, diagonal/antidiagonal/permutation fast
+//!   paths, cost-model-gated single-qubit gate fusion, layer-blocked
+//!   cache sweeps, and persistent-pool multi-threaded application for
+//!   wide registers (see `docs/qsim.md` in the repository for the
+//!   engine internals and the determinism contract).
 //! * [`unitary`] — full-unitary extraction and equivalence checking used to
 //!   *prove* de-obfuscation correctness in tests.
 //! * [`noise`] — stochastic Pauli + readout error model (the Monte-Carlo
@@ -35,16 +37,22 @@
 //! # Ok::<(), qsim::SimError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the persistent worker pool in `pool` needs one
+// documented lifetime-erasure `unsafe` block (see `pool.rs` for the
+// safety argument); everything else in the crate stays unsafe-free and
+// any new `unsafe` outside that allow is a hard error.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod complex;
 pub mod density;
 pub mod device;
 pub mod error;
+pub(crate) mod exec;
 pub(crate) mod kernels;
 pub mod matrix;
 pub mod noise;
+pub(crate) mod pool;
 pub mod sampler;
 pub mod statevector;
 pub mod unitary;
@@ -54,4 +62,4 @@ pub use density::DensityMatrix;
 pub use device::Device;
 pub use error::SimError;
 pub use sampler::{Counts, Sampler};
-pub use statevector::{ExecConfig, Statevector};
+pub use statevector::{resolved_workers, Blocking, ExecConfig, Statevector};

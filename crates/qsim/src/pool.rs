@@ -1,0 +1,358 @@
+//! Persistent kernel worker pool.
+//!
+//! PR 4's drivers spawned fresh OS threads through `std::thread::scope`
+//! for every gate application — at 2¹⁸+ amplitudes the spawn/join cost
+//! is tolerable but never free, and on deep circuits it is paid tens of
+//! thousands of times. This module keeps one process-wide set of worker
+//! threads (grown lazily, never torn down) and hands them borrowed
+//! closures through a scoped API with the same blocking guarantee as
+//! `std::thread::scope`: [`scope`] does not return until every task
+//! spawned inside it has finished running.
+//!
+//! That guarantee is what makes the one `unsafe` block below sound. A
+//! task is a `Box<dyn FnOnce + Send + 'scope>` borrowing the caller's
+//! amplitude slices; the pool's queue is `'static`, so the box's
+//! lifetime is erased before enqueueing. The erasure is justified
+//! because the borrow cannot outlive the data: [`scope`] keeps an
+//! internal guard that drains the queue and blocks on the scope's
+//! pending-task count — on normal return *and* on unwind — before the
+//! borrowed frame is popped. Workers run tasks under `catch_unwind`
+//! with the decrement in a drop guard, so a panicking kernel cannot
+//! deadlock the scope; the panic is re-raised on the caller's thread.
+//!
+//! Worker-count policy lives here too: [`resolve_workers`] honours the
+//! `QSIM_WORKERS` environment override before falling back to
+//! `std::thread::available_parallelism`, both clamped to
+//! [`MAX_WORKERS`] — the kernels are memory-bandwidth-bound and extra
+//! workers only contend.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on kernel worker threads (beyond ~8 the kernels are
+/// memory-bandwidth-bound and extra workers only contend).
+pub(crate) const MAX_WORKERS: usize = 8;
+
+/// A lifetime-erased unit of work paired with the scope it belongs to.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-[`scope`] completion state shared between the caller and the
+/// workers executing its tasks.
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// Set if any task panicked; re-raised by the caller.
+    panicked: AtomicBool,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// State shared by all worker threads.
+struct Shared {
+    queue: Mutex<VecDeque<(Task, Arc<ScopeState>)>>,
+    /// Signalled when the queue gains work.
+    work: Condvar,
+}
+
+/// The process-wide pool: shared queue plus a count of threads spawned
+/// so far (threads are grown on demand and never torn down — idle
+/// workers block on the condvar and cost nothing).
+struct Pool {
+    shared: Arc<Shared>,
+    spawned: Mutex<usize>,
+}
+
+fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Ensures at least `helpers` background workers exist (the calling
+    /// thread always participates too, so a `workers`-way kernel needs
+    /// `workers - 1` helpers).
+    fn ensure_workers(&self, helpers: usize) {
+        let helpers = helpers.min(MAX_WORKERS - 1);
+        let mut spawned = self.spawned.lock().expect("pool lock");
+        while *spawned < helpers {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("qsim-worker-{spawned}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn qsim kernel worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Pops queued tasks (any scope's) and runs them on the calling
+    /// thread until the queue is empty, then blocks until `state` has
+    /// no pending tasks left on other workers.
+    fn drain_and_wait(&self, state: &ScopeState) {
+        loop {
+            let job = self.shared.queue.lock().expect("pool lock").pop_front();
+            match job {
+                Some(job) => run_task(job),
+                None => break,
+            }
+        }
+        let mut pending = state.pending.lock().expect("scope lock");
+        while *pending > 0 {
+            pending = state.done.wait(pending).expect("scope lock");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.work.wait(queue).expect("pool lock");
+            }
+        };
+        run_task(job);
+    }
+}
+
+/// Runs one task, decrementing its scope's pending count even if the
+/// task panics (the decrement lives in a drop guard so an unwinding
+/// kernel cannot strand its scope in `drain_and_wait`).
+fn run_task((task, state): (Task, Arc<ScopeState>)) {
+    struct Complete(Arc<ScopeState>);
+    impl Drop for Complete {
+        fn drop(&mut self) {
+            let mut pending = self.0.pending.lock().expect("scope lock");
+            *pending -= 1;
+            if *pending == 0 {
+                self.0.done.notify_all();
+            }
+        }
+    }
+    let complete = Complete(Arc::clone(&state));
+    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+        state.panicked.store(true, Ordering::Relaxed);
+    }
+    drop(complete);
+}
+
+/// Handle passed to the [`scope`] closure; [`Scope::spawn`] submits
+/// borrowed tasks to the pool. `!Sync` (and never `Clone`d) so it
+/// cannot leak into the tasks themselves — spawning is only possible
+/// from the thread that owns the scope.
+pub(crate) struct Scope<'scope> {
+    pool: &'static Pool,
+    state: Arc<ScopeState>,
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+    /// Invariant over `'scope` (the same trick `std::thread::Scope`
+    /// uses) so the borrow checker cannot shrink the lifetime of
+    /// captured borrows below the scope's.
+    _scope: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Submits `f` to the pool. It may run on any worker thread or on
+    /// the caller's own thread during the scope's drain phase.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the borrows captured by `task` live at least as long
+        // as `'scope`, and `scope()` (via its unwind-safe WaitGuard)
+        // does not return control to the caller until this scope's
+        // pending count is zero — i.e. until `task` has finished
+        // running. The erased box therefore never outlives the data it
+        // borrows; it only sits in a `'static` queue structure while
+        // the originating stack frame is pinned.
+        #[allow(unsafe_code)]
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        *self.state.pending.lock().expect("scope lock") += 1;
+        self.pool
+            .shared
+            .queue
+            .lock()
+            .expect("pool lock")
+            .push_back((task, Arc::clone(&self.state)));
+        self.pool.shared.work.notify_one();
+    }
+}
+
+/// Runs `f` with a [`Scope`] backed by the persistent pool, ensuring
+/// `workers - 1` helper threads exist, and blocks — participating in
+/// the work — until every spawned task completes. Re-raises a panic if
+/// any task panicked.
+///
+/// Mirrors `std::thread::scope`'s structured-concurrency contract with
+/// persistent threads instead of per-call spawns.
+pub(crate) fn scope<'scope, F, R>(workers: usize, f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let pool = global();
+    pool.ensure_workers(workers.saturating_sub(1));
+    let state = Arc::new(ScopeState::new());
+
+    /// Blocks until the scope is quiescent — in `Drop` so the wait
+    /// happens on unwind too, keeping the lifetime erasure in
+    /// [`Scope::spawn`] sound even if `f` itself panics after spawning.
+    struct WaitGuard<'a> {
+        pool: &'static Pool,
+        state: &'a ScopeState,
+    }
+    impl Drop for WaitGuard<'_> {
+        fn drop(&mut self) {
+            self.pool.drain_and_wait(self.state);
+        }
+    }
+
+    let guard = WaitGuard {
+        pool,
+        state: &state,
+    };
+    let scope = Scope {
+        pool,
+        state: Arc::clone(&state),
+        _not_sync: std::marker::PhantomData,
+        _scope: std::marker::PhantomData,
+    };
+    let result = f(&scope);
+    drop(scope);
+    drop(guard); // blocks until all tasks finish
+    if state.panicked.load(Ordering::Relaxed) {
+        panic!("qsim kernel worker panicked");
+    }
+    result
+}
+
+/// Resolves the kernel worker count from an optional `QSIM_WORKERS`
+/// override and the detected CPU parallelism, clamping both to
+/// [`MAX_WORKERS`]. Non-numeric or zero overrides are ignored.
+pub(crate) fn resolve_workers(env_override: Option<&str>, detected: usize) -> usize {
+    match env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(MAX_WORKERS),
+        _ => detected.clamp(1, MAX_WORKERS),
+    }
+}
+
+/// The worker count kernels actually use, memoized on first call:
+/// `QSIM_WORKERS` if set and valid, else `available_parallelism`,
+/// clamped to [`MAX_WORKERS`].
+pub(crate) fn default_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        resolve_workers(
+            std::env::var("QSIM_WORKERS").ok().as_deref(),
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_scope_runs_every_task_before_returning() {
+        let counter = AtomicUsize::new(0);
+        scope(4, |s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn pool_scope_tasks_see_borrowed_mutations() {
+        let mut data = vec![0usize; 256];
+        scope(4, |s| {
+            for (i, chunk) in data.chunks_mut(64).enumerate() {
+                s.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 64 + j;
+                    }
+                });
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn pool_scopes_nest_sequentially_and_reuse_workers() {
+        // Many scopes back to back (the per-gate pattern) must not
+        // leak pending counts between scopes.
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            scope(3, |s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 800);
+    }
+
+    #[test]
+    fn pool_task_panic_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            scope(4, |s| {
+                s.spawn(|| panic!("kernel boom"));
+                s.spawn(|| {});
+            });
+        });
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let counter = AtomicUsize::new(0);
+        scope(2, |s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_worker_resolution_honours_override_and_clamps() {
+        assert_eq!(resolve_workers(None, 1), 1);
+        assert_eq!(resolve_workers(None, 6), 6);
+        assert_eq!(resolve_workers(None, 64), MAX_WORKERS);
+        assert_eq!(resolve_workers(None, 0), 1);
+        assert_eq!(resolve_workers(Some("4"), 1), 4);
+        assert_eq!(resolve_workers(Some(" 2 "), 8), 2);
+        assert_eq!(resolve_workers(Some("64"), 1), MAX_WORKERS);
+        assert_eq!(resolve_workers(Some("0"), 5), 5);
+        assert_eq!(resolve_workers(Some("junk"), 3), 3);
+        assert_eq!(resolve_workers(Some(""), 2), 2);
+    }
+}

@@ -1,22 +1,29 @@
 //! Statevector simulation.
 //!
-//! The hot path lives in the crate-private `kernels` module: branch-free
-//! stride loops
-//! that enumerate only the amplitude-group base indices, specialized
-//! diagonal/permutation fast paths, and multi-threaded application
-//! above [`PARALLEL_MIN_QUBITS`] qubits. [`Statevector::apply_circuit`]
+//! The hot path lives in the crate-private `kernels` and `exec`
+//! modules: branch-free stride loops that enumerate only the
+//! amplitude-group base indices, specialized
+//! diagonal/antidiagonal/permutation fast paths, persistent-pool
+//! multi-threaded application above [`PARALLEL_MIN_QUBITS`] qubits,
+//! and layer-blocked sweeps above [`LAYER_MIN_QUBITS`] qubits (a whole
+//! run of cache-block-local gates is applied per pass over the array
+//! instead of one pass per gate). [`Statevector::apply_circuit`]
 //! additionally runs `qcir`'s single-qubit fusion pre-pass, collapsing
-//! every run of adjacent same-wire gates into one 2×2 kernel
-//! application (see [`ExecConfig`] to opt out, e.g. for benchmarking).
+//! runs of adjacent same-wire gates into one kernel application — but
+//! only when `qcir`'s structural cost model says the fused kernel is
+//! cheaper than the specialized per-gate paths it displaces (see
+//! [`ExecConfig`] to pin any of this down, e.g. for benchmarking).
 
 use crate::complex::C64;
 use crate::error::SimError;
-use crate::kernels::{self, Mat2, Threading};
+use crate::exec::{Executor, KernelOp};
+use crate::kernels::{Mat2, Threading};
 use crate::matrix::{gate_matrix, Matrix};
-use qcir::fusion::{fused_stream, FusedOp};
+use qcir::fusion::{fused_stream, fusion_wins, run_kernel_class, CostRegime, FusedOp, KernelClass};
 use qcir::{Circuit, Gate, Instruction, Qubit};
 use rand::Rng;
 
+pub use crate::exec::{BLOCK_QUBITS, LAYER_MIN_QUBITS};
 pub use crate::kernels::PARALLEL_MIN_QUBITS;
 
 /// A pure n-qubit quantum state as 2ⁿ complex amplitudes.
@@ -58,6 +65,30 @@ pub const MAX_QUBITS: u32 = 28;
 /// cost more than the saved passes over a tiny amplitude array.
 pub const FUSION_MIN_QUBITS: u32 = 8;
 
+/// Register size at which the fusion cost model switches from the
+/// compute-bound to the memory-bound regime (`2²³` amplitudes
+/// = 128 MiB, past any last-level cache): below it arithmetic per
+/// amplitude decides whether fusing a run wins; above it every pass
+/// streams the state from DRAM, so fewer passes always win.
+pub const MEM_BOUND_MIN_QUBITS: u32 = 23;
+
+/// The kernel worker count the engine resolves on first use:
+/// `QSIM_WORKERS` if set to a positive integer, otherwise
+/// `std::thread::available_parallelism`, both clamped to the internal
+/// cap of 8 (the kernels are memory-bandwidth-bound beyond that).
+/// Memoized — changing the environment variable after the first kernel
+/// call has no effect.
+///
+/// # Example
+///
+/// ```
+/// let workers = qsim::statevector::resolved_workers();
+/// assert!((1..=8).contains(&workers));
+/// ```
+pub fn resolved_workers() -> usize {
+    crate::pool::default_workers()
+}
+
 /// Execution configuration for the kernel engine.
 ///
 /// The defaults (gate fusion on, auto thread count) are what
@@ -85,11 +116,52 @@ pub const FUSION_MIN_QUBITS: u32 = 8;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Fuse runs of adjacent same-wire single-qubit gates into one
-    /// kernel application (above [`FUSION_MIN_QUBITS`]).
+    /// kernel application (above [`FUSION_MIN_QUBITS`]), gated per run
+    /// by the `qcir::fusion` cost model.
     pub fuse: bool,
-    /// Kernel worker threads (`0` = auto-detect, capped at 8; threads
-    /// only engage at [`PARALLEL_MIN_QUBITS`]+ qubits).
+    /// Kernel worker threads (`0` = auto-detect from `QSIM_WORKERS` /
+    /// `available_parallelism`, capped at 8; threads only engage at
+    /// [`PARALLEL_MIN_QUBITS`]+ qubits). See [`resolved_workers`].
     pub threads: usize,
+    /// Layer-blocked sweep policy (see [`Blocking`]).
+    pub blocking: Blocking,
+}
+
+/// Layer-blocked sweep policy: whether consecutive cache-block-local
+/// kernel ops are batched and applied block by block in one pass over
+/// the amplitude array.
+///
+/// # Example
+///
+/// ```
+/// use qcir::Circuit;
+/// use qsim::statevector::{Blocking, ExecConfig, Statevector};
+///
+/// let mut c = Circuit::new(10);
+/// for q in 0..10 {
+///     c.h(q).t(q).cx(q, (q + 1) % 10);
+/// }
+/// let mut auto = Statevector::zero(10)?;
+/// auto.apply_circuit_with(&c, &ExecConfig::default())?;
+/// let mut forced = Statevector::zero(10)?;
+/// forced.apply_circuit_with(
+///     &c,
+///     &ExecConfig { blocking: Blocking::Force, ..ExecConfig::default() },
+/// )?;
+/// // Layering never changes the arithmetic, only the sweep order.
+/// assert_eq!(auto, forced);
+/// # Ok::<(), qsim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Blocking {
+    /// Layer sweeps at [`LAYER_MIN_QUBITS`]+ qubits (the default).
+    #[default]
+    Auto,
+    /// Never batch; one full pass per kernel op.
+    Off,
+    /// Batch at any register size (used by the equivalence suite to
+    /// exercise the layered path on small states).
+    Force,
 }
 
 impl Default for ExecConfig {
@@ -97,17 +169,19 @@ impl Default for ExecConfig {
         ExecConfig {
             fuse: true,
             threads: 0,
+            blocking: Blocking::Auto,
         }
     }
 }
 
 impl ExecConfig {
     /// The default configuration with fusion disabled (per-instruction
-    /// dispatch; stride kernels and threading still apply).
+    /// dispatch; stride kernels, threading, and layer blocking still
+    /// apply).
     pub fn unfused() -> Self {
         ExecConfig {
             fuse: false,
-            threads: 0,
+            ..ExecConfig::default()
         }
     }
 }
@@ -198,20 +272,59 @@ impl Statevector {
             });
         }
         let th = Threading::with_workers(config.threads);
-        if config.fuse && self.num_qubits >= FUSION_MIN_QUBITS {
+        let n = self.num_qubits;
+        let layering = match config.blocking {
+            Blocking::Off => false,
+            Blocking::Force => true,
+            Blocking::Auto => n >= LAYER_MIN_QUBITS,
+        };
+        let regime = if n >= MEM_BOUND_MIN_QUBITS {
+            CostRegime::MemoryBound
+        } else {
+            CostRegime::ComputeBound
+        };
+        // A run needs at least two single-qubit gates to exist; purely
+        // classical circuits (X/CX/CCX/Mcx — the RevLib suite) can't
+        // contain one, so skip the stream rewrite and its per-run
+        // allocations outright. The count is cached on the circuit, so
+        // this costs one integer compare.
+        let fusable = circuit.single_qubit_gate_count() >= 2;
+        let mut ex = Executor::new(&mut self.amps, th, layering);
+        if config.fuse && n >= FUSION_MIN_QUBITS && fusable {
             for op in fused_stream(circuit) {
                 match op {
-                    FusedOp::Single(inst) => self.apply_with(inst, th)?,
+                    FusedOp::Single(inst) => lower_gate(inst.gate(), inst.qubits(), &mut ex),
                     FusedOp::Run(run) => {
                         if let [gate] = run.gates[..] {
-                            self.apply_gate(gate, &[run.qubit], th);
-                        } else {
+                            lower_gate(gate, &[run.qubit], &mut ex);
+                        } else if fusion_wins(&run.gates, regime) {
                             let tbit = 1usize << run.qubit.index();
                             let m = compose_run(&run.gates);
-                            if m.is_diagonal() {
-                                kernels::apply_diag1(&mut self.amps, th, tbit, m.m00, m.m11);
-                            } else {
-                                kernels::apply_1q(&mut self.amps, th, tbit, m);
+                            match run_kernel_class(&run.gates) {
+                                KernelClass::Diagonal => {
+                                    debug_assert!(m.is_diagonal());
+                                    ex.push(KernelOp::Diag1 {
+                                        tbit,
+                                        d0: m.m00,
+                                        d1: m.m11,
+                                    });
+                                }
+                                KernelClass::Antidiagonal => {
+                                    debug_assert!(m.is_antidiagonal());
+                                    ex.push(KernelOp::Anti1 {
+                                        tbit,
+                                        a01: m.m01,
+                                        a10: m.m10,
+                                    });
+                                }
+                                KernelClass::General => ex.push(KernelOp::Mat1 { tbit, m }),
+                            }
+                        } else {
+                            // The cost model says the specialized
+                            // per-gate paths are cheaper than one fused
+                            // dense/antidiagonal pass.
+                            for gate in &run.gates {
+                                lower_gate(gate, &[run.qubit], &mut ex);
                             }
                         }
                     }
@@ -219,9 +332,10 @@ impl Statevector {
             }
         } else {
             for inst in circuit.iter() {
-                self.apply_with(inst, th)?;
+                lower_gate(inst.gate(), inst.qubits(), &mut ex);
             }
         }
+        ex.finish();
         Ok(())
     }
 
@@ -243,58 +357,10 @@ impl Statevector {
                 });
             }
         }
-        self.apply_gate(inst.gate(), inst.qubits(), th);
+        let mut ex = Executor::new(&mut self.amps, th, false);
+        lower_gate(inst.gate(), inst.qubits(), &mut ex);
+        ex.finish();
         Ok(())
-    }
-
-    /// Dispatches `gate` to its kernel. Operands must already be
-    /// validated against the register.
-    fn apply_gate(&mut self, gate: &Gate, qubits: &[Qubit], th: Threading) {
-        use std::f64::consts::FRAC_PI_4;
-        let amps = &mut self.amps[..];
-        let bit = |i: usize| 1usize << qubits[i].index();
-        match gate {
-            Gate::I => {}
-            // Permutation gates: pure amplitude swaps.
-            Gate::X => kernels::apply_mcx(amps, th, 0, bit(0)),
-            Gate::CX => kernels::apply_mcx(amps, th, bit(0), bit(1)),
-            Gate::CCX => kernels::apply_mcx(amps, th, bit(0) | bit(1), bit(2)),
-            Gate::Mcx(_) => {
-                let (controls, target) = qubits.split_at(qubits.len() - 1);
-                let cmask: usize = controls.iter().map(|q| 1usize << q.index()).sum();
-                kernels::apply_mcx(amps, th, cmask, 1usize << target[0].index());
-            }
-            Gate::Swap => kernels::apply_swap(amps, th, 0, bit(0), bit(1)),
-            Gate::CSwap => kernels::apply_swap(amps, th, bit(0), bit(1), bit(2)),
-            // Diagonal gates: pure per-amplitude phase multiplies.
-            Gate::Z => kernels::apply_diag1(amps, th, bit(0), C64::ONE, -C64::ONE),
-            Gate::S => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::I),
-            Gate::Sdg => kernels::apply_diag1(amps, th, bit(0), C64::ONE, -C64::I),
-            Gate::T => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::cis(FRAC_PI_4)),
-            Gate::Tdg => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::cis(-FRAC_PI_4)),
-            Gate::P(a) => kernels::apply_diag1(amps, th, bit(0), C64::ONE, C64::cis(*a)),
-            Gate::Rz(a) => {
-                kernels::apply_diag1(amps, th, bit(0), C64::cis(-a / 2.0), C64::cis(a / 2.0))
-            }
-            Gate::CZ => kernels::apply_phase(amps, th, bit(0) | bit(1), 0, -C64::ONE),
-            Gate::CP(a) => kernels::apply_phase(amps, th, bit(0) | bit(1), 0, C64::cis(*a)),
-            Gate::CRz(a) => {
-                kernels::apply_phase(amps, th, bit(0), bit(1), C64::cis(-a / 2.0));
-                kernels::apply_phase(amps, th, bit(0) | bit(1), 0, C64::cis(a / 2.0));
-            }
-            // Remaining two-qubit unitaries: dedicated 2q kernel, never
-            // the generic gather/scatter.
-            Gate::CY | Gate::CH => kernels::apply_2q(amps, th, bit(0), bit(1), &gate_matrix(gate)),
-            // General single-qubit unitaries (H, Y, Sx, Rx, Ry, U…).
-            gate if gate.arity() == 1 => {
-                kernels::apply_1q(amps, th, bit(0), Mat2::from_matrix(&gate_matrix(gate)));
-            }
-            // Fallback for any future gate without a specialized path.
-            gate => {
-                let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
-                kernels::apply_kq(amps, th, &bits, &gate_matrix(gate));
-            }
-        }
     }
 
     /// Born-rule probabilities of every basis state.
@@ -358,6 +424,131 @@ impl Statevector {
         (overlap.abs() - 1.0).abs() <= eps
             && (self.norm() - 1.0).abs() <= eps
             && (other.norm() - 1.0).abs() <= eps
+    }
+}
+
+/// Lowers `gate` to its [`KernelOp`] form and pushes it into the
+/// executor. Operands must already be validated against the register.
+fn lower_gate(gate: &Gate, qubits: &[Qubit], ex: &mut Executor) {
+    use std::f64::consts::FRAC_PI_4;
+    let bit = |i: usize| 1usize << qubits[i].index();
+    match gate {
+        Gate::I => {}
+        // Permutation gates: pure amplitude swaps.
+        Gate::X => ex.push(KernelOp::Mcx {
+            cmask: 0,
+            tbit: bit(0),
+        }),
+        Gate::CX => ex.push(KernelOp::Mcx {
+            cmask: bit(0),
+            tbit: bit(1),
+        }),
+        Gate::CCX => ex.push(KernelOp::Mcx {
+            cmask: bit(0) | bit(1),
+            tbit: bit(2),
+        }),
+        Gate::Mcx(_) => {
+            let (controls, target) = qubits.split_at(qubits.len() - 1);
+            let cmask: usize = controls.iter().map(|q| 1usize << q.index()).sum();
+            ex.push(KernelOp::Mcx {
+                cmask,
+                tbit: 1usize << target[0].index(),
+            });
+        }
+        Gate::Swap => ex.push(KernelOp::SwapBits {
+            cmask: 0,
+            abit: bit(0).min(bit(1)),
+            bbit: bit(0).max(bit(1)),
+        }),
+        Gate::CSwap => ex.push(KernelOp::SwapBits {
+            cmask: bit(0),
+            abit: bit(1).min(bit(2)),
+            bbit: bit(1).max(bit(2)),
+        }),
+        // Diagonal gates: pure per-amplitude phase multiplies.
+        Gate::Z => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::ONE,
+            d1: -C64::ONE,
+        }),
+        Gate::S => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::ONE,
+            d1: C64::I,
+        }),
+        Gate::Sdg => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::ONE,
+            d1: -C64::I,
+        }),
+        Gate::T => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::ONE,
+            d1: C64::cis(FRAC_PI_4),
+        }),
+        Gate::Tdg => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::ONE,
+            d1: C64::cis(-FRAC_PI_4),
+        }),
+        Gate::P(a) => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::ONE,
+            d1: C64::cis(*a),
+        }),
+        Gate::Rz(a) => ex.push(KernelOp::Diag1 {
+            tbit: bit(0),
+            d0: C64::cis(-a / 2.0),
+            d1: C64::cis(a / 2.0),
+        }),
+        // Y is antidiagonal: one multiply per amplitude, not four.
+        Gate::Y => ex.push(KernelOp::Anti1 {
+            tbit: bit(0),
+            a01: -C64::I,
+            a10: C64::I,
+        }),
+        Gate::CZ => ex.push(KernelOp::Phase {
+            set: bit(0) | bit(1),
+            clear: 0,
+            phase: -C64::ONE,
+        }),
+        Gate::CP(a) => ex.push(KernelOp::Phase {
+            set: bit(0) | bit(1),
+            clear: 0,
+            phase: C64::cis(*a),
+        }),
+        Gate::CRz(a) => {
+            ex.push(KernelOp::Phase {
+                set: bit(0),
+                clear: bit(1),
+                phase: C64::cis(-a / 2.0),
+            });
+            ex.push(KernelOp::Phase {
+                set: bit(0) | bit(1),
+                clear: 0,
+                phase: C64::cis(a / 2.0),
+            });
+        }
+        // Remaining two-qubit unitaries: dedicated 2q kernel, never
+        // the generic gather/scatter.
+        Gate::CY | Gate::CH => ex.push(KernelOp::Mat2Q {
+            p0: bit(0),
+            p1: bit(1),
+            m: gate_matrix(gate),
+        }),
+        // General single-qubit unitaries (H, Sx, Rx, Ry, U…).
+        gate if gate.arity() == 1 => ex.push(KernelOp::Mat1 {
+            tbit: bit(0),
+            m: Mat2::from_matrix(&gate_matrix(gate)),
+        }),
+        // Fallback for any future gate without a specialized path.
+        gate => {
+            let bits: Vec<usize> = qubits.iter().map(|q| 1usize << q.index()).collect();
+            ex.push(KernelOp::MatKQ {
+                bits,
+                m: gate_matrix(gate),
+            });
+        }
     }
 }
 
@@ -675,7 +866,7 @@ mod tests {
         fast.apply(&inst).unwrap();
         let mut slow_amps = slow.amps;
         let bits: Vec<usize> = inst.qubits().iter().map(|q| 1usize << q.index()).collect();
-        kernels::apply_kq(
+        crate::kernels::apply_kq(
             &mut slow_amps,
             Threading::single(),
             &bits,

@@ -1,0 +1,120 @@
+//! Determinism: the engine's contract that the worker count never
+//! changes a single bit of the output amplitudes.
+//!
+//! The kernels are elementwise/pairwise with no cross-amplitude
+//! reductions, the lane-blocked and remainder loops share one inlined
+//! per-element formula, and layer blocking only reorders sweeps in
+//! time — so `QSIM_WORKERS=1` and `QSIM_WORKERS=N` must agree exactly
+//! (`f64::to_bits`, not epsilon). CI runs this suite under both
+//! settings; the `auto` tests below compare the env-resolved worker
+//! count against an explicit single worker, so each CI setting pins
+//! the env path against the sequential baseline.
+
+use qcir::Circuit;
+use qsim::{Blocking, ExecConfig, Statevector};
+
+/// Runs `circuit` under `config` and returns the raw amplitude bits.
+fn run_bits(circuit: &Circuit, config: &ExecConfig) -> Vec<(u64, u64)> {
+    let mut sv = Statevector::zero(circuit.num_qubits()).expect("within cap");
+    sv.apply_circuit_with(circuit, config).expect("fits");
+    sv.amplitudes()
+        .iter()
+        .map(|a| (a.re.to_bits(), a.im.to_bits()))
+        .collect()
+}
+
+/// 18 qubits clears `PARALLEL_MIN_QUBITS`, so the pooled threaded
+/// drivers actually engage; forced layering exercises the blocked
+/// sweep under every worker count.
+#[test]
+fn worker_count_never_changes_amplitude_bits_18q_forced_layering() {
+    let circuit = bench::clifford_t_circuit(18, 80);
+    for fuse in [true, false] {
+        let base = run_bits(
+            &circuit,
+            &ExecConfig {
+                fuse,
+                threads: 1,
+                blocking: Blocking::Force,
+            },
+        );
+        for threads in [2, 3, 4] {
+            let other = run_bits(
+                &circuit,
+                &ExecConfig {
+                    fuse,
+                    threads,
+                    blocking: Blocking::Force,
+                },
+            );
+            assert_eq!(
+                base, other,
+                "amplitudes diverged: fuse={fuse} threads={threads}"
+            );
+        }
+    }
+}
+
+/// 20 qubits with the default config: auto layering engages
+/// (`LAYER_MIN_QUBITS` = 20), on top of threading and fusion.
+#[test]
+fn worker_count_never_changes_amplitude_bits_20q_auto() {
+    let circuit = bench::clifford_t_circuit(20, 80);
+    let base = run_bits(
+        &circuit,
+        &ExecConfig {
+            threads: 1,
+            ..ExecConfig::default()
+        },
+    );
+    for threads in [2, 4] {
+        let other = run_bits(
+            &circuit,
+            &ExecConfig {
+                threads,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(base, other, "amplitudes diverged at threads={threads}");
+    }
+}
+
+/// The env-resolved worker count (`threads: 0` → `QSIM_WORKERS` /
+/// detected parallelism) is bit-identical to an explicit single
+/// worker. CI runs the suite under `QSIM_WORKERS=1` and
+/// `QSIM_WORKERS=4`, so both resolutions get pinned against the
+/// sequential baseline.
+#[test]
+fn auto_worker_resolution_is_bit_identical_to_single_worker() {
+    let circuit = bench::clifford_t_circuit(18, 60);
+    let auto = run_bits(&circuit, &ExecConfig::default());
+    let single = run_bits(
+        &circuit,
+        &ExecConfig {
+            threads: 1,
+            ..ExecConfig::default()
+        },
+    );
+    assert_eq!(auto, single, "env-resolved workers diverged from threads=1");
+    // The resolution itself must land in the engine's supported range.
+    let workers = qsim::resolved_workers();
+    assert!(
+        (1..=8).contains(&workers),
+        "resolved_workers out of range: {workers}"
+    );
+}
+
+/// Repeated runs of the same configuration are bit-identical (no
+/// uninitialized state, no run-to-run scheduling sensitivity).
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let circuit = bench::clifford_t_circuit(18, 60);
+    let config = ExecConfig {
+        threads: 4,
+        blocking: Blocking::Force,
+        ..ExecConfig::default()
+    };
+    let first = run_bits(&circuit, &config);
+    let second = run_bits(&circuit, &config);
+    assert_eq!(first, second, "same config diverged across runs");
+}

@@ -1,0 +1,69 @@
+//! Fusion must never lose: regression pins for the cost-model gate.
+//!
+//! The pre-gate engine fused every eligible run unconditionally, which
+//! made the 16-qubit smoke benchmarks *slower* fused than unfused
+//! (dense 2×2 products replacing cheap diagonal/permutation sweeps).
+//! The `qcir::fusion` cost model now skips fusion when the fused
+//! kernel would cost more than the specialized per-gate kernels; these
+//! tests pin that decision structurally (the plan-cost invariant, on
+//! the exact circuits the perf suite times) and once loosely against
+//! the wall clock.
+
+use qcir::fusion::{plan_cost, CostRegime};
+use qcir::Circuit;
+use qsim::{ExecConfig, Statevector};
+use std::time::Instant;
+
+fn smoke_circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("rd53", revlib::rd53().circuit().clone()),
+        ("rd84", revlib::rd84().circuit().clone()),
+        ("clifford_t_16q", bench::clifford_t_circuit(16, 200)),
+    ]
+}
+
+/// The cost model's fused plan is never costlier than the unfused plan
+/// on the smoke-suite circuits, in either cache regime. This is the
+/// structural form of "fused_ms ≤ unfused_ms in BENCH_qsim.json":
+/// exact, noise-free, and checked on every test run.
+#[test]
+fn cost_model_fused_plan_never_exceeds_unfused() {
+    for (name, circuit) in &smoke_circuits() {
+        for regime in [CostRegime::ComputeBound, CostRegime::MemoryBound] {
+            let fused = plan_cost(circuit, true, regime);
+            let unfused = plan_cost(circuit, false, regime);
+            assert!(
+                fused <= unfused + 1e-12,
+                "{name} under {regime:?}: fused plan {fused} > unfused plan {unfused}"
+            );
+        }
+    }
+}
+
+/// One lenient wall-clock pin at smoke scale. The 1.5× slack (plus a
+/// small absolute floor) absorbs scheduler noise on loaded single-CPU
+/// CI runners; the strict check is the structural plan-cost invariant
+/// above.
+#[test]
+fn fused_wall_clock_not_slower_on_smoke_circuit() {
+    let circuit = bench::clifford_t_circuit(16, 200);
+    let best_of = |config: &ExecConfig| {
+        let mut best = f64::INFINITY;
+        // First iteration doubles as warmup; best-of keeps the noise
+        // one-sided.
+        for _ in 0..4 {
+            let mut sv = Statevector::zero(circuit.num_qubits()).expect("within cap");
+            let start = Instant::now();
+            sv.apply_circuit_with(&circuit, config).expect("fits");
+            best = best.min(start.elapsed().as_secs_f64());
+            std::hint::black_box(sv.probability(0));
+        }
+        best
+    };
+    let fused = best_of(&ExecConfig::default());
+    let unfused = best_of(&ExecConfig::unfused());
+    assert!(
+        fused <= unfused * 1.5 + 0.005,
+        "fused {fused:.6}s vs unfused {unfused:.6}s at 16q"
+    );
+}

@@ -156,3 +156,189 @@ proptest! {
         prop_assert!((sv.probability(expected) - 1.0).abs() < 1e-9);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: the layered engine vs the pre-engine naive loops
+// ---------------------------------------------------------------------------
+//
+// `bench::naive` keeps the original full-scan statevector loops as the
+// recorded baseline. Every engine configuration — stride kernels, the
+// lane-blocked SIMD-friendly pair loops, cost-model-gated fusion,
+// layer-blocked sweeps, and the pooled threaded drivers — must agree
+// with it on arbitrary circuits over the full gate-dispatch surface.
+
+use qsim::{Blocking, ExecConfig, Statevector};
+use std::f64::consts::FRAC_PI_4;
+
+/// The engine configurations the equivalence sweep exercises: fusion
+/// on/off × one worker / three workers × layering off / forced.
+fn engine_configs() -> Vec<ExecConfig> {
+    let mut configs = Vec::new();
+    for fuse in [true, false] {
+        for threads in [1, 3] {
+            for blocking in [Blocking::Off, Blocking::Force] {
+                configs.push(ExecConfig {
+                    fuse,
+                    threads,
+                    blocking,
+                });
+            }
+        }
+    }
+    configs
+}
+
+/// Largest per-component deviation between the engine run under
+/// `config` and the naive reference amplitudes.
+fn deviation_vs_naive(circuit: &Circuit, config: &ExecConfig) -> f64 {
+    let reference = bench::naive::from_circuit(circuit);
+    let mut sv = Statevector::zero(circuit.num_qubits()).expect("within cap");
+    sv.apply_circuit_with(circuit, config).expect("fits");
+    sv.amplitudes()
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a.re - b.re).abs().max((a.im - b.im).abs()))
+        .fold(0.0, f64::max)
+}
+
+/// Strategy: a random circuit over the full kernel dispatch surface —
+/// diagonal, antidiagonal, dense single-qubit, two-qubit phase,
+/// permutation, and k-qubit fallback gates on arbitrary (non-adjacent,
+/// non-contiguous) targets.
+fn kernel_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (4..=max_qubits, 1..=max_gates).prop_flat_map(|(n, len)| {
+        let gate = prop_oneof![
+            (0..n).prop_map(|q| (Gate::H, vec![q])),
+            (0..n).prop_map(|q| (Gate::X, vec![q])),
+            (0..n).prop_map(|q| (Gate::Y, vec![q])),
+            (0..n).prop_map(|q| (Gate::S, vec![q])),
+            (0..n).prop_map(|q| (Gate::Tdg, vec![q])),
+            (0..n).prop_map(|q| (Gate::Sx, vec![q])),
+            (0..n, 1..8u32).prop_map(|(q, k)| (Gate::Rz(k as f64 * FRAC_PI_4), vec![q])),
+            (0..n, 1..8u32).prop_map(|(q, k)| (Gate::Ry(k as f64 * FRAC_PI_4), vec![q])),
+            (0..n, 1..8u32, 1..8u32).prop_map(|(q, t, l)| {
+                (
+                    Gate::U(t as f64 * FRAC_PI_4, 0.3, l as f64 * FRAC_PI_4),
+                    vec![q],
+                )
+            }),
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::CX, vec![a, b]))
+            }),
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::CZ, vec![a, b]))
+            }),
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::CH, vec![a, b]))
+            }),
+            (0..n, 0..n, 1..8u32).prop_filter_map("distinct wires", move |(a, b, k)| {
+                (a != b).then(|| (Gate::CP(k as f64 * FRAC_PI_4), vec![a, b]))
+            }),
+            (0..n, 0..n, 1..8u32).prop_filter_map("distinct wires", move |(a, b, k)| {
+                (a != b).then(|| (Gate::CRz(k as f64 * FRAC_PI_4), vec![a, b]))
+            }),
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::Swap, vec![a, b]))
+            }),
+            (0..n, 0..n, 0..n).prop_filter_map("distinct wires", move |(a, b, c)| {
+                (a != b && b != c && a != c).then(|| (Gate::CCX, vec![a, b, c]))
+            }),
+            (0..n, 0..n, 0..n).prop_filter_map("distinct wires", move |(a, b, c)| {
+                (a != b && b != c && a != c).then(|| (Gate::CSwap, vec![a, b, c]))
+            }),
+        ];
+        proptest::collection::vec(gate, 1..=len).prop_map(move |gates| {
+            let mut circuit = Circuit::with_name(n, "kernel-prop");
+            for (g, wires) in gates {
+                circuit.append(g, &wires).expect("generated wires valid");
+            }
+            circuit
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Every engine configuration agrees with the naive loops on
+    // arbitrary circuits over the full gate surface, including the
+    // cost-model decisions (fused runs route through the diagonal /
+    // antidiagonal / dense kernels picked by their class).
+    #[test]
+    fn kernel_engine_matches_naive_on_random_circuits(
+        circuit in kernel_circuit(9, 24),
+    ) {
+        for config in engine_configs() {
+            let dev = deviation_vs_naive(&circuit, &config);
+            prop_assert!(
+                dev < 1e-10,
+                "config {:?} deviates from naive by {} on {}q/{} gates",
+                config, dev, circuit.num_qubits(), circuit.gate_count()
+            );
+        }
+    }
+}
+
+/// Fast-path boundary checks: gates whose targets straddle the points
+/// where the kernel layout switches — the top qubit of a 2¹⁵-amplitude
+/// cache block (layer-local vs cross-block at 16q under forced
+/// layering) and the register's top wire.
+#[test]
+fn kernel_boundary_targets_match_naive() {
+    let n = 16;
+    let mut c = Circuit::with_name(n, "boundary");
+    // Block-local ops right at the boundary (paired span 2¹⁵ on qubit
+    // 14) and cross-block ops on qubit 15.
+    for q in [0, 13, 14, 15] {
+        c.h(q);
+        c.t(q);
+    }
+    c.cx(14, 15);
+    c.cz(0, 15);
+    c.append(Gate::Swap, &[1, 15]).expect("valid wires");
+    c.x(15);
+    c.append(Gate::Y, &[14]).expect("valid wires");
+    c.append(Gate::CP(FRAC_PI_4), &[15, 3])
+        .expect("valid wires");
+    for config in engine_configs() {
+        let dev = deviation_vs_naive(&c, &config);
+        assert!(
+            dev < 1e-10,
+            "config {config:?} deviates from naive by {dev} at the block boundary"
+        );
+    }
+}
+
+/// 20 qubits: above `LAYER_MIN_QUBITS` (auto layering engages) and
+/// above `PARALLEL_MIN_QUBITS` (the pooled threaded drivers engage).
+#[test]
+fn kernel_engine_matches_naive_at_20_qubits() {
+    let circuit = bench::clifford_t_circuit(20, 60);
+    for config in [
+        ExecConfig::default(),
+        ExecConfig::unfused(),
+        ExecConfig {
+            threads: 3,
+            ..ExecConfig::default()
+        },
+    ] {
+        let dev = deviation_vs_naive(&circuit, &config);
+        assert!(dev < 1e-10, "config {config:?} deviates by {dev} at 20q");
+    }
+}
+
+/// 24 qubits: the largest register the naive baseline can replay in
+/// test time — a handful of gates over non-adjacent targets spanning
+/// the full wire range, against the default (fused, layered, threaded)
+/// engine.
+#[test]
+fn kernel_engine_matches_naive_at_24_qubits() {
+    let n = 24;
+    let mut c = Circuit::with_name(n, "spot24");
+    c.h(0).h(23).cx(0, 23).t(12).x(5);
+    c.append(Gate::Y, &[17]).expect("valid wires");
+    c.append(Gate::CP(FRAC_PI_4), &[3, 20])
+        .expect("valid wires");
+    let dev = deviation_vs_naive(&c, &ExecConfig::default());
+    assert!(dev < 1e-10, "default engine deviates by {dev} at 24q");
+}
