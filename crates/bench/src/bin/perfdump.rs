@@ -15,6 +15,11 @@
 //! cargo run --release -p bench --bin perfdump -- --out path.json
 //! ```
 //!
+//! All timing goes through [`qobs::time_median_ms`] (one untimed
+//! warmup, then `reps` recorded samples): the numbers landing in
+//! `BENCH_qsim.json` are the same qobs samples a live trace sees, so
+//! the two can never disagree.
+//!
 //! The smoke suite (rd53, rd84, 16q) finishes in seconds and is wired
 //! into CI so the emitter can never silently rot. Before writing, the
 //! binary validates its own output against
@@ -29,7 +34,6 @@ use qcir::random::RandomCircuitConfig;
 use qsim::statevector::{ExecConfig, Statevector, MAX_QUBITS, PARALLEL_MIN_QUBITS};
 use qverify::Verifier;
 use revlib::{rd53, rd84};
-use std::time::Instant;
 
 /// One timed case of the suite.
 struct CaseResult {
@@ -96,13 +100,17 @@ fn main() {
             circuit.num_qubits(),
             circuit.gate_count()
         );
-        let fused_ms = median_ms(reps, || {
+        // The single warmup rep matters even for single-rep cases: the
+        // first multi-GiB statevector allocation of the process pays
+        // tens of seconds of page faulting that would otherwise be
+        // billed to whichever engine happens to run first.
+        let fused_ms = qobs::time_median_ms(&format!("perfdump.{name}.fused"), 1, reps, || {
             let mut sv = Statevector::zero(circuit.num_qubits()).expect("within cap");
             sv.apply_circuit_with(circuit, &ExecConfig::default())
                 .expect("fits");
             std::hint::black_box(sv.probability(0));
         });
-        let unfused_ms = median_ms(reps, || {
+        let unfused_ms = qobs::time_median_ms(&format!("perfdump.{name}.unfused"), 1, reps, || {
             let mut sv = Statevector::zero(circuit.num_qubits()).expect("within cap");
             sv.apply_circuit_with(circuit, &ExecConfig::unfused())
                 .expect("fits");
@@ -113,7 +121,7 @@ fn main() {
         // would take minutes for a number we already record at 24q.
         let naive_ms = (circuit.num_qubits() <= 24).then(|| {
             let naive_reps = if circuit.num_qubits() <= 16 { reps } else { 1 };
-            median_ms(naive_reps, || {
+            qobs::time_median_ms(&format!("perfdump.{name}.naive"), 1, naive_reps, || {
                 std::hint::black_box(bench::naive::from_circuit(circuit));
             })
         });
@@ -135,7 +143,7 @@ fn main() {
         let circuit = qcir::random::random_reversible(&RandomCircuitConfig::new(20, 40, 7));
         eprintln!("timing stimulus_20q…");
         let verifier = Verifier::new().with_trials(2).with_threads(1).with_seed(5);
-        let fused_ms = median_ms(3, || {
+        let fused_ms = qobs::time_median_ms("perfdump.stimulus_20q_2trials", 1, 3, || {
             let report = verifier
                 .check_stimulus(&circuit, &circuit.clone())
                 .expect("within stimulus cap");
@@ -158,24 +166,6 @@ fn main() {
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("{json}");
     eprintln!("wrote {out}");
-}
-
-/// Median wall-clock of `reps` runs of `f` (after one untimed warmup
-/// run), in milliseconds. The warmup matters even for single-rep
-/// cases: the first multi-GiB statevector allocation of the process
-/// pays tens of seconds of page faulting that would otherwise be
-/// billed to whichever engine happens to run first.
-fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    samples[samples.len() / 2]
 }
 
 fn render_json(cases: &[CaseResult], smoke: bool) -> String {

@@ -16,12 +16,13 @@
 //! ```
 //!
 //! The smoke suite (20-qubit cases only) finishes in seconds and is
-//! wired into CI so the emitter can never silently rot.
+//! wired into CI so the emitter can never silently rot. All timing
+//! goes through [`qobs::time_median_ms`], so the numbers landing in
+//! `BENCH_qverify.json` are the same qobs samples a live trace sees.
 
 use qcir::random::{random_reversible, RandomCircuitConfig};
 use qcir::Circuit;
 use qverify::{Verdict, Verifier};
-use std::time::Instant;
 use tetrislock::recombine::recombine;
 use tetrislock::Obfuscator;
 
@@ -51,19 +52,6 @@ fn roundtrip_pair(c: &Circuit) -> (Circuit, Circuit) {
     (c.clone(), restored)
 }
 
-fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warmup
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    samples[samples.len() / 2]
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -84,7 +72,7 @@ fn main() {
         // certify: the round-trip miter fully reduces to the identity.
         let (orig, restored) = roundtrip_pair(&clifford_t_ladder(n));
         eprintln!("timing zx_certify_{n}q…");
-        let ms = median_ms(reps, || {
+        let ms = qobs::time_median_ms(&format!("perfdump.zx_certify_{n}q"), 1, reps, || {
             let report = verifier
                 .check_zx(&orig, &restored)
                 .expect("round-trip miter reduces");
@@ -109,7 +97,7 @@ fn main() {
         corrupted.t(0);
         corrupted.compose(&restored).expect("same register");
         eprintln!("timing zx_stall_{n}q…");
-        let ms = median_ms(reps, || {
+        let ms = qobs::time_median_ms(&format!("perfdump.zx_stall_{n}q"), 1, reps, || {
             assert!(verifier.check_zx(&orig, &corrupted).is_none());
         });
         cases.push(CaseResult {
@@ -130,7 +118,8 @@ fn main() {
         let mut bad = orig.clone();
         bad.x(n / 2);
         eprintln!("timing zx_witness_bit_replay_{n}q…");
-        let ms = median_ms(reps, || {
+        let name = format!("perfdump.zx_witness_bit_replay_{n}q");
+        let ms = qobs::time_median_ms(&name, 1, reps, || {
             let report = verifier.check_zx(&orig, &bad).expect("witness confirms");
             assert!(matches!(report.verdict, Verdict::Inequivalent { .. }));
         });
@@ -152,7 +141,8 @@ fn main() {
         orig.t(0).tdg(0).swap(3, 7);
         let bad = Circuit::new(n);
         eprintln!("timing zx_witness_basis_replay_{n}q…");
-        let ms = median_ms(reps, || {
+        let name = format!("perfdump.zx_witness_basis_replay_{n}q");
+        let ms = qobs::time_median_ms(&name, 1, reps, || {
             let report = verifier.check_zx(&orig, &bad).expect("witness confirms");
             assert!(matches!(report.verdict, Verdict::Inequivalent { .. }));
         });

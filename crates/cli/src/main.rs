@@ -7,12 +7,19 @@
 //! tetrislock recombine <left> <right> --meta design.tlk --out restored.qasm [--verify <original>]
 //! tetrislock verify   <a> <b>
 //! tetrislock compile  <circuit> --out compiled.qasm [--device valencia|ideal|linear:<n>]
+//! tetrislock report   <trace.jsonl>
 //! ```
 //!
 //! Circuits are read/written as OpenQASM 2.0 (`.qasm`) or RevLib
 //! (`.real`), chosen by extension. `protect` emits the two segment files
 //! for the untrusted compilers plus a designer-side `.tlk` metadata file
 //! that `recombine` consumes.
+//!
+//! Every subcommand accepts a global `--trace <out.jsonl>` flag that
+//! writes a [`qobs`] trace of the run (spans, counters, histograms) as
+//! JSON lines; `report` renders such a trace as a human-readable
+//! summary. `--trace` implies `QOBS=full` unless the `QOBS` environment
+//! variable is already set, in which case the configured level wins.
 
 mod io;
 mod meta;
@@ -28,6 +35,8 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
+            // The structured copy of this diagnostic already went out as
+            // a `cli.error` qobs event inside `run`; stderr is for humans.
             eprintln!("error: {message}");
             eprintln!("run `tetrislock help` for usage");
             ExitCode::FAILURE
@@ -36,6 +45,28 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, trace) = extract_trace(args)?;
+    if let Some(path) = &trace {
+        install_trace(path, &args)?;
+    }
+    let result = {
+        let _span = command_span(args.first().map(String::as_str));
+        dispatch(&args)
+    };
+    if let Err(message) = &result {
+        qobs::event(
+            "cli.error",
+            &[("message", qobs::AttrValue::from(message.as_str()))],
+        );
+    }
+    qobs::flush();
+    if trace.is_some() {
+        qobs::clear_trace();
+    }
+    result
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("inspect") => inspect(&rest(args)),
@@ -43,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("recombine") => recombine_cmd(&rest(args)),
         Some("verify") => verify(&rest(args)),
         Some("compile") => compile(&rest(args)),
+        Some("report") => report_cmd(&rest(args)),
         Some("help") | None => {
             if it.next().map(String::as_str) == Some("verify") {
                 print!("{}", verify_help());
@@ -53,6 +85,76 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some(other) => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Strips a global `--trace <path>` flag (usable on any subcommand) from
+/// the argument list.
+fn extract_trace(args: &[String]) -> Result<(Vec<String>, Option<PathBuf>), String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut trace = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--trace" {
+            let value = it.next().ok_or("--trace expects an output file path")?;
+            trace = Some(PathBuf::from(value));
+        } else {
+            out.push(arg.clone());
+        }
+    }
+    Ok((out, trace))
+}
+
+/// Opens the trace sink and emits the run metadata line. `--trace`
+/// implies full-detail tracing, but an explicit `QOBS` level set in the
+/// environment wins (so `QOBS=counters … --trace t.jsonl` stays cheap).
+fn install_trace(path: &Path, args: &[String]) -> Result<(), String> {
+    if std::env::var_os("QOBS").is_none() {
+        qobs::set_level(qobs::Level::Full);
+    }
+    qobs::set_trace_file(path)
+        .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let workers_env = std::env::var("QSIM_WORKERS").unwrap_or_else(|_| "unset".to_string());
+    qobs::run_meta(&[
+        ("command", qobs::AttrValue::from(command)),
+        ("argv", qobs::AttrValue::from(args.join(" "))),
+        (
+            "qsim_workers",
+            qobs::AttrValue::from(qsim::resolved_workers()),
+        ),
+        ("qsim_workers_env", qobs::AttrValue::from(workers_env)),
+    ]);
+    Ok(())
+}
+
+/// Top-level span for a recognized subcommand (span names are static).
+fn command_span(command: Option<&str>) -> Option<qobs::Span> {
+    let name = match command? {
+        "inspect" => "cli.inspect",
+        "protect" => "cli.protect",
+        "recombine" => "cli.recombine",
+        "verify" => "cli.verify",
+        "compile" => "cli.compile",
+        "report" => "cli.report",
+        _ => return None,
+    };
+    Some(qobs::span(name))
+}
+
+/// Renders a `--trace` output file as a per-stage / per-tier summary.
+/// Validation is built in: a malformed trace is an error, not garbage
+/// output.
+fn report_cmd(args: &[String]) -> Result<(), String> {
+    let (paths, _) = parse(args)?;
+    let path = paths
+        .first()
+        .ok_or("report expects a trace file (.jsonl)")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let rendered = qobs::report::summarize(&text)
+        .map_err(|e| format!("invalid trace {}: {e}", path.display()))?;
+    print!("{rendered}");
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -68,7 +170,12 @@ commands:
             (classical / tableau / zx-calculus / dense-unitary / stimulus;
              `verify --help` explains tier selection)
   compile   <circuit> --out F [--device valencia|ideal|linear:<n>]
+  report    <trace.jsonl>                          summarize a qobs trace
   help
+
+global options:
+  --trace <out.jsonl>   write an observability trace of the run (implies
+                        QOBS=full unless the QOBS env var is already set)
 
 formats: .qasm (OpenQASM 2.0) and .real (RevLib), chosen by extension.
 ";
@@ -727,6 +834,17 @@ mod tests {
         let input = write_demo_circuit();
         let err = run(&s(&["protect", input.to_str().unwrap()])).unwrap_err();
         assert!(err.contains("meta"));
+    }
+
+    // The `--trace` round trip is covered by `tests/trace_cli.rs`, which
+    // drives the real binary in a subprocess: the qobs sink and level are
+    // process-global, so an in-process test would race with the rest of
+    // this (parallel) suite.
+
+    #[test]
+    fn trace_flag_requires_value() {
+        let err = run(&s(&["verify", "--trace"])).unwrap_err();
+        assert!(err.contains("--trace"));
     }
 
     #[test]

@@ -120,6 +120,11 @@ impl MultiwayPattern {
     /// Panics if the pattern's wire count mismatches the circuit.
     pub fn split(&self, obfuscation: &Obfuscation) -> MultiwaySplit {
         let circuit = obfuscation.obfuscated();
+        let _span = qobs::span("core.split_multiway")
+            .attr("circuit", circuit.name().to_string())
+            .attr("wires", circuit.num_qubits())
+            .attr("gates", circuit.gate_count())
+            .attr("segments", self.segments);
         assert_eq!(
             self.cuts.len(),
             circuit.num_qubits() as usize,
@@ -202,6 +207,9 @@ impl MultiwaySplit {
     ///
     /// Returns [`LockError::Recombine`] on incomplete wire maps.
     pub fn recombine(&self) -> Result<Circuit, LockError> {
+        let _span = qobs::span("core.recombine_multiway")
+            .attr("wires", self.original_qubits)
+            .attr("segments", self.segments.len());
         let mut out = Circuit::with_name(self.original_qubits, "recombined_multiway");
         for segment in &self.segments {
             let inverse = segment.inverse_map();

@@ -63,7 +63,12 @@ impl Obfuscator {
 
     /// Obfuscates `circuit`, producing the `R⁻¹RC` form.
     pub fn obfuscate(&self, circuit: &Circuit) -> Obfuscation {
+        let span = qobs::span("core.obfuscate")
+            .attr("circuit", circuit.name())
+            .attr("wires", circuit.num_qubits())
+            .attr("gates", circuit.gate_count());
         let insertion = insert_random_pairs(circuit, &self.config);
+        let _span = span.attr("inserted", insertion.inserted_count());
         Obfuscation {
             original: circuit.clone(),
             insertion,
@@ -143,6 +148,10 @@ impl Obfuscation {
     /// split, falling back to the last attempt if none separates (check
     /// [`Obfuscation::split_separates_pairs`] when using that mode).
     pub fn split(&self, seed: u64) -> SplitPair {
+        let _span = qobs::span("core.split")
+            .attr("circuit", self.original.name())
+            .attr("wires", self.original.num_qubits())
+            .attr("gates", self.obfuscated().gate_count());
         let mut last = None;
         for attempt in 0..16u64 {
             let pattern =

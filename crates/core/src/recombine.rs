@@ -35,6 +35,7 @@ use std::collections::BTreeMap;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn recombine(split: &SplitPair) -> Result<Circuit, LockError> {
+    let _span = qobs::span("core.recombine").attr("wires", split.original_qubits);
     let mut out = Circuit::with_name(split.original_qubits, "recombined");
     append_segment(&mut out, &split.left)?;
     append_segment(&mut out, &split.right)?;
@@ -57,6 +58,10 @@ pub fn recombine_compiled(
     right: &Circuit,
     right_to_original: &BTreeMap<Qubit, Qubit>,
 ) -> Result<Circuit, LockError> {
+    let _span = qobs::span("core.recombine_compiled")
+        .attr("wires", num_qubits)
+        .attr("gates_left", left.gate_count())
+        .attr("gates_right", right.gate_count());
     let mut out = Circuit::with_name(num_qubits, "recombined_compiled");
     for (circuit, map) in [(left, left_to_original), (right, right_to_original)] {
         for inst in circuit.iter() {

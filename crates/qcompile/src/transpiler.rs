@@ -109,6 +109,10 @@ impl Transpiler {
                 available: self.device.num_qubits(),
             });
         }
+        let span = qobs::span("compile.transpile")
+            .attr("circuit", circuit.name())
+            .attr("wires", circuit.num_qubits())
+            .attr("gates_in", circuit.gate_count());
         let distances = DistanceMap::new(&self.device)?;
 
         // 1. Lower to {1q, CX}.
@@ -137,6 +141,9 @@ impl Transpiler {
             OptimizationLevel::Full => optimize_aggressive(&mut physical),
         }
 
+        let _span = span
+            .attr("gates_out", physical.gate_count())
+            .attr("swaps", routed.swaps_inserted);
         Ok(Transpiled {
             circuit: physical,
             initial_layout: routed.initial_layout,

@@ -1,0 +1,218 @@
+//! Trace summarization: turns a validated JSONL trace into the
+//! per-stage/per-tier text table behind `tetrislock report`.
+
+use crate::json;
+use crate::schema;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct SpanAgg {
+    calls: u64,
+    total_us: u64,
+    max_us: u64,
+    decided: bool,
+}
+
+/// Validate `text` as a qobs trace and render a human-readable summary:
+/// run metadata, per-stage span aggregates (spans carrying a `tier`
+/// attribute are broken out per tier, with the deciding tier marked),
+/// counters, histograms, and event counts.
+///
+/// Returns the schema validation error unchanged when the trace is
+/// invalid, so callers get validation for free.
+pub fn summarize(text: &str) -> Result<String, String> {
+    let summary = schema::validate_trace(text)?;
+
+    let mut meta_lines: Vec<String> = Vec::new();
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    let mut events: BTreeMap<String, u64> = BTreeMap::new();
+
+    for line in text.lines() {
+        // validate_trace already proved every line parses.
+        let obj = json::parse_line(line).map_err(|e| e.to_string())?;
+        match obj.get_str("type") {
+            Some("meta") => {
+                let mut parts: Vec<String> = Vec::new();
+                for (key, value) in obj.fields() {
+                    if key == "type" {
+                        continue;
+                    }
+                    let rendered = match value {
+                        json::Value::Str(s) => s.clone(),
+                        json::Value::Num(n) => format!("{n}"),
+                        json::Value::Bool(b) => format!("{b}"),
+                        json::Value::Null => "null".to_string(),
+                    };
+                    parts.push(format!("{key}={rendered}"));
+                }
+                meta_lines.push(parts.join(" "));
+            }
+            Some("span") => {
+                let name = obj.get_str("name").unwrap_or("?");
+                let key = match obj.get_str("tier") {
+                    Some(tier) => format!("{name}[{tier}]"),
+                    None => name.to_string(),
+                };
+                let agg = spans.entry(key).or_default();
+                let elapsed = obj.get_u64("elapsed_us").unwrap_or(0);
+                agg.calls += 1;
+                agg.total_us += elapsed;
+                agg.max_us = agg.max_us.max(elapsed);
+                if obj.get_str("outcome") == Some("decided") {
+                    agg.decided = true;
+                }
+            }
+            Some("counter") => {
+                let name = obj.get_str("name").unwrap_or("?").to_string();
+                let value = obj.get_u64("value").unwrap_or(0);
+                // Repeated flushes re-emit cumulative totals; keep the last.
+                counters.insert(name, value);
+            }
+            Some("histogram") => {
+                let name = obj.get_str("name").unwrap_or("?").to_string();
+                histograms.insert(
+                    name,
+                    (
+                        obj.get_u64("count").unwrap_or(0),
+                        obj.get_u64("sum_us").unwrap_or(0),
+                        obj.get_u64("max_us").unwrap_or(0),
+                    ),
+                );
+            }
+            Some("event") => {
+                let name = obj.get_str("name").unwrap_or("?").to_string();
+                *events.entry(name).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} lines ({} spans, {} counters, {} histograms, {} events)\n",
+        summary.lines, summary.spans, summary.counters, summary.histograms, summary.events
+    ));
+    for meta in &meta_lines {
+        out.push_str(&format!("meta: {meta}\n"));
+    }
+
+    if !spans.is_empty() {
+        // Widest key first so the table aligns.
+        let mut rows: Vec<(&String, &SpanAgg)> = spans.iter().collect();
+        rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(5);
+        out.push_str(&format!(
+            "\nstages (by total time)\n  {:<width$}  {:>6}  {:>12}  {:>12}  {:>12}\n",
+            "stage", "calls", "total_ms", "mean_ms", "max_ms"
+        ));
+        for (key, agg) in rows {
+            let mean_us = agg.total_us as f64 / agg.calls.max(1) as f64;
+            out.push_str(&format!(
+                "  {:<width$}  {:>6}  {:>12.3}  {:>12.3}  {:>12.3}{}\n",
+                key,
+                agg.calls,
+                agg.total_us as f64 / 1e3,
+                mean_us / 1e3,
+                agg.max_us as f64 / 1e3,
+                if agg.decided { "  <- decided" } else { "" }
+            ));
+        }
+    }
+
+    if !counters.is_empty() {
+        let width = counters.keys().map(String::len).max().unwrap_or(0).max(7);
+        out.push_str(&format!(
+            "\ncounters\n  {:<width$}  {:>12}\n",
+            "counter", "value"
+        ));
+        for (name, value) in &counters {
+            out.push_str(&format!("  {name:<width$}  {value:>12}\n"));
+        }
+    }
+
+    if !histograms.is_empty() {
+        let width = histograms.keys().map(String::len).max().unwrap_or(0).max(9);
+        out.push_str(&format!(
+            "\nhistograms\n  {:<width$}  {:>8}  {:>12}  {:>12}\n",
+            "histogram", "count", "mean_ms", "max_ms"
+        ));
+        for (name, (count, sum_us, max_us)) in &histograms {
+            let mean_us = *sum_us as f64 / (*count).max(1) as f64;
+            out.push_str(&format!(
+                "  {:<width$}  {:>8}  {:>12.3}  {:>12.3}\n",
+                name,
+                count,
+                mean_us / 1e3,
+                *max_us as f64 / 1e3,
+            ));
+        }
+    }
+
+    if !events.is_empty() {
+        let width = events.keys().map(String::len).max().unwrap_or(0).max(5);
+        out.push_str(&format!(
+            "\nevents\n  {:<width$}  {:>8}\n",
+            "event", "count"
+        ));
+        for (name, count) in &events {
+            out.push_str(&format!("  {name:<width$}  {count:>8}\n"));
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_tier_breakout_and_deciding_marker() {
+        let trace = "\
+{\"type\":\"meta\",\"schema_version\":1,\"level\":\"full\",\"command\":\"verify\",\"qsim_workers\":4}\n\
+{\"type\":\"span\",\"name\":\"verify.tier\",\"id\":2,\"parent\":1,\"thread\":0,\"start_us\":0,\"elapsed_us\":50,\"tier\":\"tableau\",\"outcome\":\"fell_through\"}\n\
+{\"type\":\"span\",\"name\":\"verify.tier\",\"id\":3,\"parent\":1,\"thread\":0,\"start_us\":60,\"elapsed_us\":400,\"tier\":\"zx\",\"outcome\":\"decided\"}\n\
+{\"type\":\"span\",\"name\":\"verify.check\",\"id\":1,\"thread\":0,\"start_us\":0,\"elapsed_us\":500}\n\
+{\"type\":\"counter\",\"name\":\"qsim.kernel.mat1\",\"value\":9}\n\
+{\"type\":\"histogram\",\"name\":\"qverify.tier.zx.elapsed_us\",\"count\":1,\"sum_us\":400,\"max_us\":400}\n\
+{\"type\":\"event\",\"name\":\"qsim.fusion.decision\",\"thread\":0}\n";
+        let report = summarize(trace).unwrap();
+        assert!(report.contains("verify.tier[zx]"), "{report}");
+        assert!(report.contains("verify.tier[tableau]"), "{report}");
+        assert!(report.contains("<- decided"), "{report}");
+        assert!(report.contains("qsim.kernel.mat1"), "{report}");
+        assert!(report.contains("command=verify"), "{report}");
+        assert!(report.contains("qsim_workers=4"), "{report}");
+        assert!(report.contains("qsim.fusion.decision"), "{report}");
+        // The deciding marker must sit on the zx row, not the tableau one.
+        let zx_row = report
+            .lines()
+            .find(|l| l.contains("verify.tier[zx]"))
+            .unwrap();
+        assert!(zx_row.contains("<- decided"), "{report}");
+        let tableau_row = report
+            .lines()
+            .find(|l| l.contains("verify.tier[tableau]"))
+            .unwrap();
+        assert!(!tableau_row.contains("<- decided"), "{report}");
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        assert!(summarize("").is_err());
+        assert!(summarize("{\"type\":\"span\"}\n").is_err());
+    }
+
+    #[test]
+    fn keeps_last_counter_value_across_flushes() {
+        let trace = "\
+{\"type\":\"meta\",\"schema_version\":1,\"level\":\"counters\"}\n\
+{\"type\":\"counter\",\"name\":\"c\",\"value\":3}\n\
+{\"type\":\"counter\",\"name\":\"c\",\"value\":8}\n";
+        let report = summarize(trace).unwrap();
+        let row = report.lines().find(|l| l.trim().starts_with("c ")).unwrap();
+        assert!(row.trim().ends_with('8'), "{report}");
+    }
+}

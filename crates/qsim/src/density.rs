@@ -18,6 +18,12 @@ use qcir::{Circuit, Gate, Instruction, Qubit};
 /// entries per state is still cheap; beyond ~10 the matrices get heavy).
 pub const MAX_DENSITY_QUBITS: u32 = 8;
 
+/// How far the trace of ρ may drift from 1 after a noisy evolution
+/// before a `qsim.density.trace_drift` diagnostic event is emitted.
+pub const TRACE_DRIFT_TOLERANCE: f64 = 1e-9;
+
+static NOISE_CHANNELS: qobs::Counter = qobs::Counter::new("qsim.density.noise_channels");
+
 /// An n-qubit mixed state ρ as a dense `2ⁿ × 2ⁿ` complex matrix.
 ///
 /// # Example
@@ -164,6 +170,7 @@ impl DensityMatrix {
             let arity = inst.gate().arity();
             let p = noise.gate_error(arity);
             if p > 0.0 {
+                NOISE_CHANNELS.incr();
                 // Mixture: (1-p)·ρ + p · uniform over (operand, pauli).
                 let share = p / (arity as f64 * 3.0);
                 let mut mixed = self.scaled(1.0 - p);
@@ -176,6 +183,21 @@ impl DensityMatrix {
                 }
                 *self = mixed;
             }
+        }
+        // Every channel above is trace-preserving; drift signals a bad
+        // noise model or accumulated float error. Diagnostics used to be
+        // ad-hoc stderr prints — they now flow through the level-gated
+        // qobs event stream so traces capture them uniformly.
+        let trace = self.trace().re;
+        if (trace - 1.0).abs() > TRACE_DRIFT_TOLERANCE {
+            qobs::event(
+                "qsim.density.trace_drift",
+                &[
+                    ("trace", qobs::AttrValue::from(trace)),
+                    ("wires", qobs::AttrValue::from(self.num_qubits)),
+                    ("gates", qobs::AttrValue::from(circuit.gate_count())),
+                ],
+            );
         }
         Ok(())
     }

@@ -32,6 +32,21 @@ use crate::complex::C64;
 use crate::kernels::{self, Mat2, Threading};
 use crate::matrix::Matrix;
 
+// Per-kernel-class dispatch counters (one tick per op submitted to an
+// executor, independent of whether it runs layered or full-array) and
+// layer-sweep accounting, all no-ops below `QOBS=counters`.
+static KERNEL_DIAG1: qobs::Counter = qobs::Counter::new("qsim.kernel.diag1");
+static KERNEL_PHASE: qobs::Counter = qobs::Counter::new("qsim.kernel.phase");
+static KERNEL_MCX: qobs::Counter = qobs::Counter::new("qsim.kernel.mcx");
+static KERNEL_SWAP: qobs::Counter = qobs::Counter::new("qsim.kernel.swap");
+static KERNEL_ANTI1: qobs::Counter = qobs::Counter::new("qsim.kernel.anti1");
+static KERNEL_MAT1: qobs::Counter = qobs::Counter::new("qsim.kernel.mat1");
+static KERNEL_MAT2Q: qobs::Counter = qobs::Counter::new("qsim.kernel.mat2q");
+static KERNEL_MATKQ: qobs::Counter = qobs::Counter::new("qsim.kernel.matkq");
+static EXEC_FULL_PASSES: qobs::Counter = qobs::Counter::new("qsim.exec.full_passes");
+static EXEC_LAYER_SWEEPS: qobs::Counter = qobs::Counter::new("qsim.exec.layer_sweeps");
+static EXEC_LAYER_OPS: qobs::Counter = qobs::Counter::new("qsim.exec.layer_ops");
+
 /// Block size exponent for layer-blocked sweeps: `2¹⁵` amplitudes
 /// = 512 KiB, sized to sit comfortably in a per-core L2 cache while
 /// a whole fused layer is applied to it.
@@ -93,9 +108,24 @@ impl KernelOp {
         }
     }
 
+    /// The dispatch counter for this op's kernel class.
+    fn class_counter(&self) -> &'static qobs::Counter {
+        match self {
+            KernelOp::Diag1 { .. } => &KERNEL_DIAG1,
+            KernelOp::Phase { .. } => &KERNEL_PHASE,
+            KernelOp::Mcx { .. } => &KERNEL_MCX,
+            KernelOp::SwapBits { .. } => &KERNEL_SWAP,
+            KernelOp::Anti1 { .. } => &KERNEL_ANTI1,
+            KernelOp::Mat1 { .. } => &KERNEL_MAT1,
+            KernelOp::Mat2Q { .. } => &KERNEL_MAT2Q,
+            KernelOp::MatKQ { .. } => &KERNEL_MATKQ,
+        }
+    }
+
     /// Applies this op over the whole array through its full driver
     /// (chunked/pair-slab parallel as appropriate).
     fn apply_full(&self, amps: &mut [C64], th: Threading) {
+        EXEC_FULL_PASSES.incr();
         match self {
             KernelOp::Diag1 { tbit, d0, d1 } => kernels::apply_diag1(amps, th, *tbit, *d0, *d1),
             KernelOp::Phase { set, clear, phase } => {
@@ -167,6 +197,7 @@ impl<'a> Executor<'a> {
 
     /// Submits one op for execution.
     pub fn push(&mut self, op: KernelOp) {
+        op.class_counter().incr();
         if self.block == 0 {
             op.apply_full(self.amps, self.th);
         } else if op.paired_span() <= self.block {
@@ -191,6 +222,8 @@ impl<'a> Executor<'a> {
             }
             _ => {
                 let ops = std::mem::take(&mut self.layer);
+                EXEC_LAYER_SWEEPS.incr();
+                EXEC_LAYER_OPS.add(ops.len() as u64);
                 let block = self.block;
                 kernels::run_chunks(self.amps, block, self.th, &|offset, chunk| {
                     for (bi, b) in chunk.chunks_mut(block).enumerate() {

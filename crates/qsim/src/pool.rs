@@ -31,6 +31,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+// Pool utilization counters: tasks that ran on a background worker vs
+// on the spawning caller during its drain phase. worker/spawned is the
+// pool's effective parallel fraction for a run.
+static POOL_SCOPES: qobs::Counter = qobs::Counter::new("qsim.pool.scopes");
+static POOL_TASKS_SPAWNED: qobs::Counter = qobs::Counter::new("qsim.pool.tasks_spawned");
+static POOL_TASKS_WORKER: qobs::Counter = qobs::Counter::new("qsim.pool.tasks_on_worker");
+static POOL_TASKS_CALLER: qobs::Counter = qobs::Counter::new("qsim.pool.tasks_on_caller");
+
 /// Upper bound on kernel worker threads (beyond ~8 the kernels are
 /// memory-bandwidth-bound and extra workers only contend).
 pub(crate) const MAX_WORKERS: usize = 8;
@@ -109,7 +117,10 @@ impl Pool {
         loop {
             let job = self.shared.queue.lock().expect("pool lock").pop_front();
             match job {
-                Some(job) => run_task(job),
+                Some(job) => {
+                    POOL_TASKS_CALLER.incr();
+                    run_task(job)
+                }
                 None => break,
             }
         }
@@ -131,6 +142,7 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.work.wait(queue).expect("pool lock");
             }
         };
+        POOL_TASKS_WORKER.incr();
         run_task(job);
     }
 }
@@ -188,6 +200,7 @@ impl<'scope> Scope<'scope> {
         #[allow(unsafe_code)]
         let task: Task =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        POOL_TASKS_SPAWNED.incr();
         *self.state.pending.lock().expect("scope lock") += 1;
         self.pool
             .shared
@@ -210,6 +223,7 @@ pub(crate) fn scope<'scope, F, R>(workers: usize, f: F) -> R
 where
     F: FnOnce(&Scope<'scope>) -> R,
 {
+    POOL_SCOPES.incr();
     let pool = global();
     pool.ensure_workers(workers.saturating_sub(1));
     let state = Arc::new(ScopeState::new());

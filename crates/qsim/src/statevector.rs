@@ -19,12 +19,22 @@ use crate::error::SimError;
 use crate::exec::{Executor, KernelOp};
 use crate::kernels::{Mat2, Threading};
 use crate::matrix::{gate_matrix, Matrix};
-use qcir::fusion::{fused_stream, fusion_wins, run_kernel_class, CostRegime, FusedOp, KernelClass};
+use qcir::fusion::{
+    fused_stream, fused_sweep_cost, fusion_wins, gate_sweep_cost, run_kernel_class, CostRegime,
+    FusedOp, KernelClass,
+};
 use qcir::{Circuit, Gate, Instruction, Qubit};
 use rand::Rng;
 
 pub use crate::exec::{BLOCK_QUBITS, LAYER_MIN_QUBITS};
 pub use crate::kernels::PARALLEL_MIN_QUBITS;
+
+// Cost-model outcome counters for the fusion gate in
+// `apply_circuit_with`; at `QOBS=full` each decision additionally emits
+// a `qsim.fusion.decision` event carrying the plan-cost inputs.
+static FUSION_ACCEPTED: qobs::Counter = qobs::Counter::new("qsim.fusion.accepted");
+static FUSION_REJECTED: qobs::Counter = qobs::Counter::new("qsim.fusion.rejected");
+static APPLY_CIRCUITS: qobs::Counter = qobs::Counter::new("qsim.apply_circuit.calls");
 
 /// A pure n-qubit quantum state as 2ⁿ complex amplitudes.
 ///
@@ -271,6 +281,10 @@ impl Statevector {
                 state: self.num_qubits,
             });
         }
+        APPLY_CIRCUITS.incr();
+        let _span = qobs::span_at(qobs::Level::Full, "qsim.apply_circuit")
+            .attr("wires", circuit.num_qubits() as u64)
+            .attr("gates", circuit.gate_count());
         let th = Threading::with_workers(config.threads);
         let n = self.num_qubits;
         let layering = match config.blocking {
@@ -297,7 +311,47 @@ impl Statevector {
                     FusedOp::Run(run) => {
                         if let [gate] = run.gates[..] {
                             lower_gate(gate, &[run.qubit], &mut ex);
-                        } else if fusion_wins(&run.gates, regime) {
+                            continue;
+                        }
+                        let accepted = fusion_wins(&run.gates, regime);
+                        if accepted {
+                            FUSION_ACCEPTED.incr();
+                        } else {
+                            FUSION_REJECTED.incr();
+                        }
+                        if qobs::enabled(qobs::Level::Full) {
+                            let unfused: f64 =
+                                run.gates.iter().map(|g| gate_sweep_cost(g, regime)).sum();
+                            qobs::event(
+                                "qsim.fusion.decision",
+                                &[
+                                    ("qubit", qobs::AttrValue::from(run.qubit.index())),
+                                    ("run_len", qobs::AttrValue::from(run.gates.len())),
+                                    (
+                                        "class",
+                                        qobs::AttrValue::from(match run_kernel_class(&run.gates) {
+                                            KernelClass::Diagonal => "diagonal",
+                                            KernelClass::Antidiagonal => "antidiagonal",
+                                            KernelClass::General => "general",
+                                        }),
+                                    ),
+                                    (
+                                        "regime",
+                                        qobs::AttrValue::from(match regime {
+                                            CostRegime::ComputeBound => "compute_bound",
+                                            CostRegime::MemoryBound => "memory_bound",
+                                        }),
+                                    ),
+                                    (
+                                        "fused_cost",
+                                        qobs::AttrValue::from(fused_sweep_cost(&run.gates, regime)),
+                                    ),
+                                    ("unfused_cost", qobs::AttrValue::from(unfused)),
+                                    ("accepted", qobs::AttrValue::from(accepted)),
+                                ],
+                            );
+                        }
+                        if accepted {
                             let tbit = 1usize << run.qubit.index();
                             let m = compose_run(&run.gates);
                             match run_kernel_class(&run.gates) {

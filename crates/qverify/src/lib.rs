@@ -84,6 +84,91 @@ pub use qsim::unitary::MAX_UNITARY_QUBITS;
 /// fall through to the quantum tiers.
 pub const CLASSICAL_EXHAUSTIVE_MAX_QUBITS: u32 = 16;
 
+// Tier dispatch telemetry: every tier attempt in `check_report` ticks
+// its entered counter, records its elapsed time, and — when tracing at
+// `QOBS=spans`+ — emits a `verify.tier` span whose `outcome` attribute
+// marks whether the tier decided or fell through.
+static TIER_CLASSICAL_ENTERED: qobs::Counter = qobs::Counter::new("qverify.tier.classical.entered");
+static TIER_CLASSICAL_DECIDED: qobs::Counter = qobs::Counter::new("qverify.tier.classical.decided");
+static TIER_TABLEAU_ENTERED: qobs::Counter = qobs::Counter::new("qverify.tier.tableau.entered");
+static TIER_TABLEAU_DECIDED: qobs::Counter = qobs::Counter::new("qverify.tier.tableau.decided");
+static TIER_ZX_ENTERED: qobs::Counter = qobs::Counter::new("qverify.tier.zx.entered");
+static TIER_ZX_DECIDED: qobs::Counter = qobs::Counter::new("qverify.tier.zx.decided");
+static TIER_DENSE_ENTERED: qobs::Counter = qobs::Counter::new("qverify.tier.dense.entered");
+static TIER_DENSE_DECIDED: qobs::Counter = qobs::Counter::new("qverify.tier.dense.decided");
+static TIER_STIMULUS_ENTERED: qobs::Counter = qobs::Counter::new("qverify.tier.stimulus.entered");
+static TIER_STIMULUS_DECIDED: qobs::Counter = qobs::Counter::new("qverify.tier.stimulus.decided");
+static TIER_CLASSICAL_ELAPSED: qobs::Histogram =
+    qobs::Histogram::new("qverify.tier.classical.elapsed_us");
+static TIER_TABLEAU_ELAPSED: qobs::Histogram =
+    qobs::Histogram::new("qverify.tier.tableau.elapsed_us");
+static TIER_ZX_ELAPSED: qobs::Histogram = qobs::Histogram::new("qverify.tier.zx.elapsed_us");
+static TIER_DENSE_ELAPSED: qobs::Histogram = qobs::Histogram::new("qverify.tier.dense.elapsed_us");
+static TIER_STIMULUS_ELAPSED: qobs::Histogram =
+    qobs::Histogram::new("qverify.tier.stimulus.elapsed_us");
+
+/// Short machine key for trace attributes (`Display` stays the
+/// human-facing spelling).
+fn tier_key(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Structural => "structural",
+        Tier::Classical => "classical",
+        Tier::Tableau => "tableau",
+        Tier::Zx => "zx",
+        Tier::Dense => "dense",
+        Tier::Stimulus => "stimulus",
+    }
+}
+
+fn verdict_key(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Equivalent => "equivalent",
+        Verdict::Inequivalent { .. } => "inequivalent",
+        Verdict::Inconclusive { .. } => "inconclusive",
+    }
+}
+
+/// Runs one tier attempt with entered/decided counters, an elapsed
+/// histogram, and a `verify.tier` span. `f` returns `Some` when the
+/// tier decides.
+fn tier_attempt(tier: Tier, f: impl FnOnce() -> Option<Report>) -> Option<Report> {
+    let (entered, decided_counter, elapsed) = match tier {
+        Tier::Classical => (
+            &TIER_CLASSICAL_ENTERED,
+            &TIER_CLASSICAL_DECIDED,
+            &TIER_CLASSICAL_ELAPSED,
+        ),
+        Tier::Tableau => (
+            &TIER_TABLEAU_ENTERED,
+            &TIER_TABLEAU_DECIDED,
+            &TIER_TABLEAU_ELAPSED,
+        ),
+        Tier::Zx => (&TIER_ZX_ENTERED, &TIER_ZX_DECIDED, &TIER_ZX_ELAPSED),
+        Tier::Dense => (
+            &TIER_DENSE_ENTERED,
+            &TIER_DENSE_DECIDED,
+            &TIER_DENSE_ELAPSED,
+        ),
+        Tier::Stimulus => (
+            &TIER_STIMULUS_ENTERED,
+            &TIER_STIMULUS_DECIDED,
+            &TIER_STIMULUS_ELAPSED,
+        ),
+        Tier::Structural => unreachable!("the structural screen is not an attempted tier"),
+    };
+    entered.incr();
+    let span = qobs::span("verify.tier").attr("tier", tier_key(tier));
+    let start = std::time::Instant::now();
+    let out = f();
+    elapsed.record_us(start.elapsed().as_micros() as u64);
+    let decided = out.is_some();
+    if decided {
+        decided_counter.incr();
+    }
+    let _span = span.attr("outcome", if decided { "decided" } else { "fell_through" });
+    out
+}
+
 /// The decision procedure that produced a verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
@@ -450,6 +535,22 @@ impl Verifier {
     /// Like [`Verifier::check`], but also reports which tier decided and
     /// how many stimulus trials ran.
     pub fn check_report(&self, original: &Circuit, candidate: &Circuit) -> Report {
+        let span = qobs::span("verify.check")
+            .attr("circuit", original.name())
+            .attr("wires", original.num_qubits())
+            .attr("gates_left", original.gate_count())
+            .attr("gates_right", candidate.gate_count());
+        let report = self.check_report_tiers(original, candidate);
+        let _span = span
+            .attr("tier", tier_key(report.tier))
+            .attr("verdict", verdict_key(&report.verdict))
+            .attr("trials", report.trials);
+        report
+    }
+
+    /// The tier cascade behind [`Verifier::check_report`], with each
+    /// attempt routed through [`tier_attempt`] for telemetry.
+    fn check_report_tiers(&self, original: &Circuit, candidate: &Circuit) -> Report {
         let n = original.num_qubits();
         if n != candidate.num_qubits() {
             return Report {
@@ -468,21 +569,31 @@ impl Verifier {
             && all_classical(original)
             && all_classical(candidate)
         {
-            return classical::check(original, candidate);
+            if let Some(report) = tier_attempt(Tier::Classical, || {
+                Some(classical::check(original, candidate))
+            }) {
+                return report;
+            }
         }
-        if let Some(report) = self.check_tableau(original, candidate) {
+        if let Some(report) =
+            tier_attempt(Tier::Tableau, || self.check_tableau(original, candidate))
+        {
             return report;
         }
-        if let Some(report) = self.check_zx(original, candidate) {
+        if let Some(report) = tier_attempt(Tier::Zx, || self.check_zx(original, candidate)) {
             return report;
         }
         if n <= MAX_UNITARY_QUBITS {
-            if let Ok(report) = self.check_dense(original, candidate) {
+            if let Some(report) =
+                tier_attempt(Tier::Dense, || self.check_dense(original, candidate).ok())
+            {
                 return report;
             }
         }
         if n <= MAX_STIMULUS_QUBITS {
-            if let Ok(report) = self.check_stimulus(original, candidate) {
+            if let Some(report) = tier_attempt(Tier::Stimulus, || {
+                self.check_stimulus(original, candidate).ok()
+            }) {
                 return report;
             }
         }

@@ -51,6 +51,22 @@
 use super::graph::{Diagram, EdgeKind, VKind};
 use super::phase::Phase;
 
+// Rewrite-rule firing counters (one tick per pass that made progress)
+// plus exhaustion markers for the gadget-move meter and the round
+// budget — the two ways a reduction can be cut off rather than stall
+// naturally.
+static RULE_FUSE: qobs::Counter = qobs::Counter::new("qverify.zx.rule.fuse");
+static RULE_IDENTITY: qobs::Counter = qobs::Counter::new("qverify.zx.rule.identity");
+static RULE_LOCAL_COMPLEMENT: qobs::Counter =
+    qobs::Counter::new("qverify.zx.rule.local_complement");
+static RULE_PIVOT: qobs::Counter = qobs::Counter::new("qverify.zx.rule.pivot");
+static RULE_GADGET: qobs::Counter = qobs::Counter::new("qverify.zx.rule.gadget");
+static RULE_BOUNDARY_PIVOT: qobs::Counter = qobs::Counter::new("qverify.zx.rule.boundary_pivot");
+static RULE_PIVOT_GADGET: qobs::Counter = qobs::Counter::new("qverify.zx.rule.pivot_gadget");
+static RULE_COMPLETION: qobs::Counter = qobs::Counter::new("qverify.zx.rule.completion");
+static METER_EXHAUSTED: qobs::Counter = qobs::Counter::new("qverify.zx.meter_exhausted");
+static BUDGET_EXHAUSTED: qobs::Counter = qobs::Counter::new("qverify.zx.budget_exhausted");
+
 /// Most variables a phase-polynomial component may span before the
 /// pointwise check (2^vars exact evaluations) is considered too
 /// expensive and the component is skipped — skipping only stalls, which
@@ -73,34 +89,53 @@ pub(crate) fn simplify(d: &mut Diagram) {
     color_change(d);
     let mut gadget_moves = d.spider_count() + 16;
     let budget = 100 + 8 * d.slots();
+    let mut stalled = false;
     for _ in 0..budget {
         if fuse_pass(d) {
+            RULE_FUSE.incr();
             continue;
         }
         if identity_pass(d) {
+            RULE_IDENTITY.incr();
             continue;
         }
         if local_complement_pass(d) {
+            RULE_LOCAL_COMPLEMENT.incr();
             continue;
         }
         if pivot_pass(d) {
+            RULE_PIVOT.incr();
             continue;
         }
         if gadget_pass(d) {
+            RULE_GADGET.incr();
             continue;
         }
         if gadget_moves > 0 && boundary_pivot_pass(d) {
+            RULE_BOUNDARY_PIVOT.incr();
             gadget_moves -= 1;
             continue;
         }
         if gadget_moves > 0 && pivot_gadget_pass(d) {
+            RULE_PIVOT_GADGET.incr();
             gadget_moves -= 1;
             continue;
         }
         if completion_pass(d) {
+            RULE_COMPLETION.incr();
             continue;
         }
+        stalled = true;
         break;
+    }
+    if stalled {
+        if gadget_moves == 0 && !d.is_identity() {
+            METER_EXHAUSTED.incr();
+        }
+    } else {
+        // The round budget ran dry while rules were still firing — the
+        // belt-and-braces cutoff, not a natural fixpoint.
+        BUDGET_EXHAUSTED.incr();
     }
 }
 

@@ -53,6 +53,15 @@ const MAX_BASIS_REPLAYS: usize = 4;
 /// candidate costs only `O(gates)` bit operations.
 const CLASSICAL_RANDOM_PROBES: u64 = 32;
 
+// Witness extraction cost telemetry: how many candidate inputs the
+// stalled residue proposed, how many replays each confirmation path
+// actually paid for, and how many witnesses were certified.
+static WITNESS_CANDIDATES: qobs::Counter = qobs::Counter::new("qverify.zx.witness.candidates");
+static WITNESS_BIT_REPLAYS: qobs::Counter = qobs::Counter::new("qverify.zx.witness.bit_replays");
+static WITNESS_BASIS_REPLAYS: qobs::Counter =
+    qobs::Counter::new("qverify.zx.witness.basis_replays");
+static WITNESS_CONFIRMED: qobs::Counter = qobs::Counter::new("qverify.zx.witness.confirmed");
+
 /// Attempts to turn a reduced-but-non-identity diagram into a
 /// replay-certified witness. `None` means "no confirmed witness" — the
 /// caller falls through, exactly as for a plain stall.
@@ -89,10 +98,13 @@ pub(crate) fn extract(
                 candidates.push(x);
             }
         }
+        WITNESS_CANDIDATES.add(candidates.len() as u64);
         for x in candidates {
+            WITNESS_BIT_REPLAYS.incr();
             let left = classical_eval(original, x as usize).ok()? as u64;
             let right = classical_eval(candidate, x as usize).ok()? as u64;
             if left != right {
+                WITNESS_CONFIRMED.incr();
                 return Some(Witness::BasisInput {
                     input: x,
                     left_output: left,
@@ -103,8 +115,12 @@ pub(crate) fn extract(
         return None;
     }
     if n <= MAX_STIMULUS_QUBITS && basis_visible(diagram) {
-        for x in structured_candidates(&active, MAX_BASIS_REPLAYS) {
+        let candidates = structured_candidates(&active, MAX_BASIS_REPLAYS);
+        WITNESS_CANDIDATES.add(candidates.len() as u64);
+        for x in candidates {
+            WITNESS_BASIS_REPLAYS.incr();
             if let Ok(Some(overlap)) = stimulus::basis_refutation(miter, x, eps) {
+                WITNESS_CONFIRMED.incr();
                 return Some(Witness::BasisColumn { input: x, overlap });
             }
         }
