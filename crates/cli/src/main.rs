@@ -7,6 +7,7 @@
 //! tetrislock recombine <left> <right> --meta design.tlk --out restored.qasm [--verify <original>]
 //! tetrislock verify   <a> <b>
 //! tetrislock compile  <circuit> --out compiled.qasm [--device valencia|ideal|linear:<n>]
+//! tetrislock batch    <circuit>… --out-dir D [--jobs-dir D] [--workers N] [--resume]
 //! tetrislock report   <trace.jsonl>
 //! ```
 //!
@@ -74,12 +75,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("recombine") => recombine_cmd(&rest(args)),
         Some("verify") => verify(&rest(args)),
         Some("compile") => compile(&rest(args)),
+        Some("batch") => batch_cmd(&rest(args)),
         Some("report") => report_cmd(&rest(args)),
         Some("help") | None => {
-            if it.next().map(String::as_str) == Some("verify") {
-                print!("{}", verify_help());
-            } else {
-                print!("{USAGE}");
+            match it.next().map(String::as_str) {
+                Some("verify") => print!("{}", verify_help()),
+                Some("batch") => print!("{}", batch_help()),
+                _ => print!("{USAGE}"),
             }
             Ok(())
         }
@@ -135,6 +137,7 @@ fn command_span(command: Option<&str>) -> Option<qobs::Span> {
         "recombine" => "cli.recombine",
         "verify" => "cli.verify",
         "compile" => "cli.compile",
+        "batch" => "cli.batch",
         "report" => "cli.report",
         _ => return None,
     };
@@ -170,6 +173,11 @@ commands:
             (classical / tableau / zx-calculus / dense-unitary / stimulus;
              `verify --help` explains tier selection)
   compile   <circuit> --out F [--device valencia|ideal|linear:<n>]
+  batch     <circuit>… --out-dir D [--jobs-dir D] [--workers N] [--resume]
+            [--suite table1|all] [--seed N] [--split-seed N] [--limit K]
+            [--policy xcx|h|mixed] [--device …] [--trials N]
+            crash-safe obfuscate→split→compile→recombine→verify over many
+            circuits, checkpointed per job (`batch --help` for details)
   report    <trace.jsonl>                          summarize a qobs trace
   help
 
@@ -577,6 +585,187 @@ fn compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Long help for `batch`. Built at runtime so the advertised stage
+/// list, defaults, and checkpoint format version all derive from the
+/// authoritative engine constants and can never go stale.
+fn batch_help() -> String {
+    use tetrislock::job::{JobConfig, JobStage};
+    let defaults = JobConfig::default();
+    let stages = [
+        JobStage::Obfuscate,
+        JobStage::Split,
+        JobStage::CompileLeft,
+        JobStage::CompileRight,
+        JobStage::Recombine,
+        JobStage::Verify,
+        JobStage::Emit,
+    ]
+    .map(JobStage::name)
+    .join(" → ");
+    format!(
+        "\
+tetrislock batch <circuit>… --out-dir D [options]
+
+Runs the full protection pipeline ({stages})
+over many input circuits as a pool of crash-safe jobs. Each job
+checkpoints its complete state to <jobs-dir>/<id>.job after every stage
+(format version {version}, versioned + checksummed + atomically written;
+the previous generation is kept as <id>.job.prev). Killing the process
+at ANY instant — including `kill -9` — loses at most one stage per
+in-flight job; re-running with --resume finishes every job with output
+byte-identical to an uninterrupted run, regardless of --workers.
+
+Inputs: positional circuit files (.qasm/.real; the job id is the file
+stem), and/or a built-in RevLib suite via --suite.
+
+Options:
+  --out-dir D      output directory: <id>.restored.qasm per job plus a
+                   sorted, tab-separated `{manifest}` (required)
+  --jobs-dir D     checkpoint directory (default: <out-dir>/jobs)
+  --workers N      worker threads (default 1; output is identical for
+                   any N)
+  --resume         resume from existing checkpoints instead of starting
+                   fresh; completed jobs are skipped, a checkpoint
+                   written under a different configuration is refused
+  --suite S        add a built-in benchmark suite: `table1` (the paper's
+                   Table I circuits) or `all`
+  --seed N         insertion RNG seed        (default {seed})
+  --split-seed N   interlock pattern seed    (default {split_seed})
+  --limit K        max inserted gates        (default {gate_limit})
+  --policy P       xcx | h | mixed           (default xcx)
+  --device D       ideal | valencia | linear:<n>  (default {device})
+  --trials N       stimulus verification trials   (default {trials})
+
+Exit status: 0 iff every job completed and verified equivalent.
+
+Fault injection (test hook): set {kill_env}=N to abort the
+process (as if SIGKILLed) after the N-th checkpoint write.
+",
+        version = qcir::persist::FORMAT_VERSION,
+        manifest = tetrislock::batch::MANIFEST_FILE,
+        seed = defaults.seed,
+        split_seed = defaults.split_seed,
+        gate_limit = defaults.gate_limit,
+        device = defaults.device,
+        trials = defaults.trials,
+        kill_env = tetrislock::job::KILL_AFTER_CHECKPOINTS_ENV,
+    )
+}
+
+fn batch_cmd(args: &[String]) -> Result<(), String> {
+    use tetrislock::batch::{run_batch, BatchConfig};
+    use tetrislock::job::JobConfig;
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", batch_help());
+        return Ok(());
+    }
+    // `--resume` is a bare flag; strip it before the flag-value parser.
+    let resume = args.iter().any(|a| a == "--resume");
+    let filtered: Vec<String> = args.iter().filter(|a| *a != "--resume").cloned().collect();
+    let (paths, options) = parse(&filtered)?;
+
+    let out_dir = PathBuf::from(required(&options, "out-dir")?);
+    let jobs_dir = option(&options, "jobs-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| out_dir.join("jobs"));
+    let workers: usize = option(&options, "workers")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --workers")?;
+    let defaults = JobConfig::default();
+    let job = JobConfig {
+        seed: parse_opt(&options, "seed", defaults.seed)?,
+        split_seed: parse_opt(&options, "split-seed", defaults.split_seed)?,
+        gate_limit: parse_opt(&options, "limit", defaults.gate_limit)?,
+        policy: match option(&options, "policy").unwrap_or("xcx") {
+            "xcx" => GatePolicy::XCx,
+            "h" | "hadamard" => GatePolicy::Hadamard,
+            "mixed" => GatePolicy::Mixed,
+            other => return Err(format!("unknown policy `{other}`")),
+        },
+        device: option(&options, "device")
+            .unwrap_or(&defaults.device)
+            .to_string(),
+        trials: parse_opt(&options, "trials", defaults.trials)?,
+        verify_seed: defaults.verify_seed,
+    };
+
+    let mut inputs: Vec<(String, Circuit)> = Vec::new();
+    for path in &paths {
+        let id = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("cannot derive a job id from {}", path.display()))?
+            .to_string();
+        inputs.push((id, io::read_circuit(path)?));
+    }
+    if let Some(suite) = option(&options, "suite") {
+        let benchmarks = match suite {
+            "table1" => revlib::table1_benchmarks(),
+            "all" => revlib::all_benchmarks(),
+            other => return Err(format!("unknown suite `{other}` (expected table1 or all)")),
+        };
+        for b in benchmarks {
+            inputs.push((b.name().to_string(), b.circuit().clone()));
+        }
+    }
+    if inputs.is_empty() {
+        return Err("batch expects at least one circuit file or --suite".into());
+    }
+
+    let report = run_batch(
+        inputs,
+        &BatchConfig {
+            jobs_dir,
+            out_dir,
+            workers,
+            resume,
+            job,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    for o in &report.outcomes {
+        match &o.result {
+            Ok(v) if v.equivalent => println!(
+                "  {:<12} ok        ({} tier, {} steps{})",
+                o.id,
+                v.tier,
+                o.steps_done,
+                if o.resumed { ", resumed" } else { "" }
+            ),
+            Ok(v) => println!("  {:<12} NOT EQUIVALENT ({} tier)", o.id, v.tier),
+            Err(message) => println!("  {:<12} FAILED: {message}", o.id),
+        }
+    }
+    let total = report.outcomes.len();
+    let failed = report.failed();
+    println!(
+        "batch: {}/{total} jobs ok, manifest {}",
+        total - failed,
+        report.manifest_path.display()
+    );
+    if failed > 0 {
+        Err(format!("{failed} job(s) failed"))
+    } else if !report.all_equivalent() {
+        Err("at least one job verified NOT equivalent".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// Parses an optional `--flag value` with a typed default.
+fn parse_opt<T: std::str::FromStr>(
+    options: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match option(options, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad --{key}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -827,6 +1016,61 @@ mod tests {
         .unwrap();
         let compiled = io::read_circuit(&out).unwrap();
         assert!(compiled.gate_count() > 0);
+    }
+
+    #[test]
+    fn batch_help_derives_from_engine_constants() {
+        assert!(run(&s(&["batch", "--help"])).is_ok());
+        assert!(run(&s(&["help", "batch"])).is_ok());
+        let help = batch_help();
+        for needle in [
+            "--workers",
+            "--resume",
+            "--jobs-dir",
+            "obfuscate",
+            "emit",
+            &format!("format version {}", qcir::persist::FORMAT_VERSION),
+            tetrislock::job::KILL_AFTER_CHECKPOINTS_ENV,
+            tetrislock::batch::MANIFEST_FILE,
+        ] {
+            assert!(help.contains(needle), "batch help must mention {needle}");
+        }
+    }
+
+    #[test]
+    fn batch_runs_files_and_resumes() {
+        let input = write_demo_circuit();
+        let out_dir = tmp("batch_out");
+        run(&s(&[
+            "batch",
+            input.to_str().unwrap(),
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out_dir.join("demo.restored.qasm").exists());
+        assert!(out_dir.join(tetrislock::batch::MANIFEST_FILE).exists());
+        assert!(out_dir.join("jobs").join("demo.job").exists());
+        // Resuming a finished batch is a no-op that still succeeds.
+        run(&s(&[
+            "batch",
+            input.to_str().unwrap(),
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+            "--resume",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn batch_requires_inputs_and_out_dir() {
+        assert!(run(&s(&["batch"])).is_err());
+        let err = run(&s(&["batch", "--out-dir", tmp("be").to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("circuit file or --suite"), "{err}");
+        let err = run(&s(&["batch", "--suite", "nope", "--out-dir", "x"])).unwrap_err();
+        assert!(err.contains("unknown suite"), "{err}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl Default for InsertionConfig {
 }
 
 /// One inserted `(g†, g)` pair with its placement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InsertedPair {
     /// The forward gate `g` (part of `R`).
     pub gate: Gate,
@@ -74,7 +74,7 @@ pub struct InsertedPair {
 }
 
 /// Result of running Algorithm 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Insertion {
     /// The obfuscated circuit `R⁻¹RC` (same register, same depth as `C`).
     pub circuit: Circuit,

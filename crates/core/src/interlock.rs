@@ -19,10 +19,11 @@ use crate::obfuscate::Obfuscation;
 use qcir::{Circuit, CircuitDag, Qubit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One compiled-independently segment of a split.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Segment {
     /// The segment circuit, compacted onto its own dense wire numbering.
     pub circuit: Circuit,
@@ -38,7 +39,7 @@ impl Segment {
 }
 
 /// A completed interlocking split.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SplitPair {
     /// Segment 1: `R⁻¹` plus the left portion of the circuit.
     pub left: Segment,
@@ -63,7 +64,7 @@ impl SplitPair {
 
 /// A per-wire cut: gates of wire `q` in layers `< cut[q]` belong to the
 /// left segment (subject to the straddle rule — see [`InterlockPattern::split`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InterlockPattern {
     cuts: Vec<usize>,
 }

@@ -24,6 +24,11 @@
 //! [`baselines`] implements those prior schemes for head-to-head
 //! comparison.
 //!
+//! For many circuits at once, [`batch`] runs the whole pipeline as a
+//! pool of crash-safe jobs: each [`job::JobState`] checkpoints to disk
+//! after every stage (via `qcir::persist`), so a killed batch resumes
+//! to bit-identical output.
+//!
 //! Equivalence claims (restoration works, wrong keys fail) are decided
 //! by the tiered `qverify` engine, which scales past dense-unitary
 //! extraction via a stabilizer tableau and a parallel random-stimulus
@@ -58,9 +63,11 @@ pub mod analysis;
 pub mod attack;
 pub mod attack_sim;
 pub mod baselines;
+pub mod batch;
 pub mod error;
 pub mod insertion;
 pub mod interlock;
+pub mod job;
 pub mod multiway;
 pub mod obfuscate;
 pub mod policy;

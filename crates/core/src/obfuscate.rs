@@ -86,6 +86,17 @@ pub struct Obfuscation {
 }
 
 impl Obfuscation {
+    /// Reassembles an `Obfuscation` from persisted parts (the batch
+    /// service checkpoints the original circuit, the insertion record,
+    /// and the seed, then rebuilds the value on resume).
+    pub fn from_parts(original: Circuit, insertion: Insertion, seed: u64) -> Self {
+        Obfuscation {
+            original,
+            insertion,
+            seed,
+        }
+    }
+
     /// The original (secret) circuit `C`.
     pub fn original(&self) -> &Circuit {
         &self.original

@@ -15,6 +15,8 @@
 //! * [`fusion`] — a pre-pass grouping maximal runs of adjacent
 //!   single-qubit gates per wire, so simulators can apply one fused
 //!   kernel per run instead of one pass per gate.
+//! * [`persist`] — versioned, checksummed binary persistence for any
+//!   serde-encodable type (the batch service's checkpoint envelope).
 //! * [`qasm`] — OpenQASM 2.0 emission and a parser for the subset this
 //!   workspace produces.
 //! * [`real`] — a parser/writer for the RevLib `.real` reversible-circuit
@@ -46,6 +48,7 @@ pub mod display;
 pub mod error;
 pub mod fusion;
 pub mod gate;
+pub mod persist;
 pub mod qasm;
 pub mod qubit;
 pub mod random;

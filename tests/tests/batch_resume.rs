@@ -1,0 +1,201 @@
+//! Fault-injection suite for the batch protection service — the
+//! headline crash-safety test.
+//!
+//! Strategy: run `tetrislock batch --suite table1` (the paper's RevLib
+//! suite) once uninterrupted as the reference, then run the same batch
+//! in a subprocess that is repeatedly killed at *seeded-random*
+//! checkpoint counts (via the `TLK_BATCH_KILL_AFTER_CHECKPOINTS` hook,
+//! which `abort()`s the process — equivalent to `kill -9`: no
+//! destructors, no flushes) and resumed with `--resume` until it
+//! finally completes. Every restored circuit and the manifest must be
+//! **byte-identical** to the uninterrupted run, even though the fault
+//! run used a different worker count and crossed many kill/resume
+//! cycles.
+//!
+//! The kill schedule is seeded (`TLK_TEST_SEED` env, default below) so
+//! failures replay exactly.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Locates the `tetrislock` binary next to the test executable
+/// (`target/debug/deps/<test>` → `target/debug/tetrislock`), building
+/// it on demand if a bare `cargo test -p tetrislock-tests` got here
+/// without it.
+fn tetrislock_bin() -> PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    let debug_dir = exe
+        .parent()
+        .and_then(Path::parent)
+        .expect("target/debug layout");
+    let bin = debug_dir.join(format!("tetrislock{}", std::env::consts::EXE_SUFFIX));
+    if bin.exists() {
+        return bin;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(cargo)
+        .args(["build", "-p", "tetrislock-cli", "--bin", "tetrislock"])
+        .status()
+        .expect("spawn cargo build");
+    assert!(status.success(), "building the tetrislock binary failed");
+    assert!(bin.exists(), "no tetrislock binary at {}", bin.display());
+    bin
+}
+
+/// Small deterministic RNG (xorshift64*) for the kill schedule — the
+/// test must not depend on ambient entropy.
+struct KillRng(u64);
+
+impl KillRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tlk_batch_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// All batch artifacts that must be reproducible: every
+/// `*.restored.qasm` plus the manifest, keyed by file name.
+fn read_outputs(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("read output dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".restored.qasm") || name == "manifest.txt" {
+            out.insert(name, std::fs::read(entry.path()).expect("read output file"));
+        }
+    }
+    out
+}
+
+fn batch_cmd(bin: &Path, out_dir: &Path, workers: &str) -> Command {
+    let mut cmd = Command::new(bin);
+    cmd.args([
+        "batch",
+        "--suite",
+        "table1",
+        "--workers",
+        workers,
+        "--out-dir",
+    ])
+    .arg(out_dir)
+    .arg("--resume");
+    cmd
+}
+
+#[test]
+fn kill_resume_outputs_byte_identical_to_uninterrupted_run() {
+    let bin = tetrislock_bin();
+    let ref_dir = unique_dir("ref");
+    let fault_dir = unique_dir("fault");
+
+    // Reference: uninterrupted, single worker.
+    let status = batch_cmd(&bin, &ref_dir, "1")
+        .status()
+        .expect("spawn reference batch");
+    assert!(status.success(), "reference batch run failed");
+    let reference = read_outputs(&ref_dir);
+    assert!(
+        reference.len() > 8,
+        "expected the table1 suite plus manifest, got {} files",
+        reference.len()
+    );
+
+    // Fault run: different worker count, killed at seeded-random
+    // checkpoint counts until it completes on its own.
+    let seed = std::env::var("TLK_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xA5EE_D001_u64);
+    let mut rng = KillRng(seed | 1);
+    let mut kills = 0u32;
+    let mut completed = false;
+    for round in 0..40 {
+        // Kill after 3..=16 checkpoint writes: early enough to strike
+        // mid-pipeline (each job checkpoints 8 times), late enough that
+        // every round makes progress.
+        let kill_after = 3 + rng.next() % 14;
+        let status = batch_cmd(&bin, &fault_dir, "2")
+            .env("TLK_BATCH_KILL_AFTER_CHECKPOINTS", kill_after.to_string())
+            .status()
+            .expect("spawn fault batch");
+        if status.success() {
+            completed = true;
+            break;
+        }
+        kills += 1;
+        assert!(
+            status.code().is_none() || status.code() != Some(1),
+            "round {round}: expected an abort (signal), got clean failure exit"
+        );
+    }
+    if !completed {
+        // Belt and braces: finish without the kill hook. The comparison
+        // below still proves resume correctness for all prior kills.
+        let status = batch_cmd(&bin, &fault_dir, "2")
+            .status()
+            .expect("spawn final batch");
+        assert!(status.success(), "final resume run failed");
+    }
+    assert!(
+        kills >= 3,
+        "fault injection fired only {kills} times — the hook is not working"
+    );
+
+    let fault = read_outputs(&fault_dir);
+    assert_eq!(
+        reference.keys().collect::<Vec<_>>(),
+        fault.keys().collect::<Vec<_>>(),
+        "kill/resume run produced a different file set"
+    );
+    for (name, want) in &reference {
+        assert_eq!(
+            fault.get(name).map(Vec::as_slice),
+            Some(want.as_slice()),
+            "{name} differs between uninterrupted and kill/resume runs"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&fault_dir);
+}
+
+#[test]
+fn killed_run_leaves_loadable_checkpoints() {
+    // A run killed mid-flight must leave a jobs directory from which
+    // every checkpoint loads cleanly (the .prev rotation guarantees at
+    // least one good generation per started job).
+    let bin = tetrislock_bin();
+    let dir = unique_dir("ckpt");
+    let status = batch_cmd(&bin, &dir, "2")
+        .env("TLK_BATCH_KILL_AFTER_CHECKPOINTS", "5")
+        .status()
+        .expect("spawn killed batch");
+    assert!(!status.success(), "the kill hook should have fired");
+
+    let jobs_dir = dir.join("jobs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&jobs_dir).expect("jobs dir exists after kill") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("job") {
+            let id = path.file_stem().unwrap().to_str().unwrap();
+            let loaded = tetrislock::job::load_checkpoint(&jobs_dir, id)
+                .expect("checkpoint loads or falls back");
+            assert!(loaded.is_some(), "checkpoint for {id} vanished");
+            seen += 1;
+        }
+    }
+    assert!(seen >= 1, "no checkpoints were written before the kill");
+    let _ = std::fs::remove_dir_all(&dir);
+}

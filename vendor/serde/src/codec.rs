@@ -1,0 +1,641 @@
+//! The shim's binary wire format: encoder, decoder, and the
+//! `Serialize`/`Deserialize` impls for primitives and std containers.
+//!
+//! The format is compact and schema-driven (like `bincode`): the byte
+//! stream carries no field names or type tags beyond enum variant
+//! indices, so both sides must agree on the type. Versioning is the
+//! *caller's* job — `qcir::persist` wraps every payload in a versioned,
+//! checksummed envelope.
+//!
+//! Encoding rules:
+//!
+//! * unsigned integers (`u8`–`u64`, `usize`): LEB128 varint (≤ 10 bytes)
+//! * signed integers: zigzag-mapped, then varint
+//! * `bool`: one byte, `0` or `1` (anything else is a decode error)
+//! * `f32`/`f64`: raw IEEE-754 bits, little-endian — **bit-exact**
+//!   round-trips, including NaN payloads and `-0.0`
+//! * `String`/`str`: byte length (varint) + UTF-8 bytes (validated)
+//! * `Vec<T>`, `BTreeMap`, `BTreeSet`: element count (varint) + elements
+//! * `Option<T>`: tag byte `0`/`1` + payload if `1`
+//! * tuples, structs: fields in declaration order, no framing
+//! * enums: variant index (varint) + payload fields
+//!
+//! Every length read is bounds-checked against the bytes actually
+//! remaining, so a corrupted length can never trigger an outsized
+//! allocation or a panic.
+
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    /// Writes raw bytes verbatim (no length prefix).
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn write_varint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a signed integer (zigzag + varint).
+    pub fn write_signed(&mut self, value: i64) {
+        self.write_varint(((value << 1) ^ (value >> 63)) as u64);
+    }
+
+    /// Writes a collection length (varint).
+    pub fn write_len(&mut self, len: usize) {
+        self.write_varint(len as u64);
+    }
+
+    /// Writes an enum variant index (varint).
+    pub fn write_variant(&mut self, index: u32) {
+        self.write_varint(u64::from(index));
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_len(bytes.len());
+        self.write_raw(bytes);
+    }
+}
+
+/// Typed decode failure. Every malformed input maps to one of these —
+/// decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value did.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A varint ran past its maximum width (corrupt stream).
+    VarintOverflow,
+    /// A decoded integer did not fit the target type.
+    IntOutOfRange {
+        /// The offending decoded value.
+        value: u64,
+        /// Name of the target type.
+        target: &'static str,
+    },
+    /// A `bool` byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A string's bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// An enum variant index was out of range for the type.
+    InvalidVariant {
+        /// Name of the enum being decoded.
+        type_name: &'static str,
+        /// The unknown variant index.
+        index: u32,
+    },
+    /// A collection length exceeded the bytes remaining in the input.
+    LengthOverflow {
+        /// The claimed element count.
+        len: u64,
+        /// Bytes remaining (each element needs at least one).
+        remaining: usize,
+    },
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} byte(s), {remaining} remaining"
+            ),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits (corrupt stream)"),
+            DecodeError::IntOutOfRange { value, target } => {
+                write!(f, "integer {value} does not fit {target}")
+            }
+            DecodeError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            DecodeError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            DecodeError::InvalidVariant { type_name, index } => {
+                write!(f, "unknown variant index {index} for enum {type_name}")
+            }
+            DecodeError::LengthOverflow { len, remaining } => write!(
+                f,
+                "collection claims {len} element(s) but only {remaining} byte(s) remain"
+            ),
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// Builds the error for an unknown enum variant (used by derived
+    /// `Deserialize` impls).
+    pub fn invalid_variant(type_name: &'static str, index: u32) -> DecodeError {
+        DecodeError::InvalidVariant { type_name, index }
+    }
+}
+
+/// Cursor over an input byte slice.
+#[derive(Debug)]
+pub struct Decoder<'de> {
+    bytes: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Decoder<'de> {
+    /// Creates a decoder over `bytes`.
+    pub fn new(bytes: &'de [u8]) -> Decoder<'de> {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the input is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TrailingBytes`] if unread bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            count => Err(DecodeError::TrailingBytes { count }),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer remain.
+    pub fn read_raw(&mut self, n: usize) -> Result<&'de [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] at end of input.
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.read_raw(1)?[0])
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] or [`DecodeError::VarintOverflow`].
+    pub fn read_varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.read_u8()?;
+            let bits = u64::from(byte & 0x7f);
+            if shift == 63 && bits > 1 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            value |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(DecodeError::VarintOverflow)
+    }
+
+    /// Reads a signed integer (varint + zigzag).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decoder::read_varint`].
+    pub fn read_signed(&mut self) -> Result<i64, DecodeError> {
+        let raw = self.read_varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Reads a collection length, bounds-checked against the remaining
+    /// input (each element costs ≥ 1 byte on this format).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::LengthOverflow`] for lengths the input cannot hold.
+    pub fn read_len(&mut self) -> Result<usize, DecodeError> {
+        let len = self.read_varint()?;
+        if len > self.remaining() as u64 {
+            return Err(DecodeError::LengthOverflow {
+                len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads an enum variant index.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::IntOutOfRange`] if the index exceeds `u32`.
+    pub fn read_variant(&mut self) -> Result<u32, DecodeError> {
+        let raw = self.read_varint()?;
+        u32::try_from(raw).map_err(|_| DecodeError::IntOutOfRange {
+            value: raw,
+            target: "u32 (variant index)",
+        })
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, enc: &mut Encoder) {
+                enc.write_varint(*self as u64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+                let raw = dec.read_varint()?;
+                <$ty>::try_from(raw).map_err(|_| DecodeError::IntOutOfRange {
+                    value: raw,
+                    target: stringify!($ty),
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, enc: &mut Encoder) {
+                enc.write_signed(*self as i64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+                let raw = dec.read_signed()?;
+                <$ty>::try_from(raw).map_err(|_| DecodeError::IntOutOfRange {
+                    value: raw as u64,
+                    target: stringify!($ty),
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_u8(u8::from(*self));
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        match dec.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::InvalidBool(other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_raw(&self.to_bits().to_le_bytes());
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let raw = dec.read_raw(8)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(raw);
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_raw(&self.to_bits().to_le_bytes());
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let raw = dec.read_raw(4)?;
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(raw);
+        Ok(f32::from_bits(u32::from_le_bytes(bytes)))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_varint(u64::from(u32::from(*self)));
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let raw = dec.read_varint()?;
+        u32::try_from(raw)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or(DecodeError::IntOutOfRange {
+                value: raw,
+                target: "char",
+            })
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_bytes(self.as_bytes());
+    }
+}
+impl Serialize for String {
+    fn serialize(&self, enc: &mut Encoder) {
+        self.as_str().serialize(enc);
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let len = dec.read_len()?;
+        let bytes = dec.read_raw(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, enc: &mut Encoder) {
+        (**self).serialize(enc);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, enc: &mut Encoder) {
+        (**self).serialize(enc);
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        T::deserialize(dec).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_len(self.len());
+        for item in self {
+            item.serialize(enc);
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, enc: &mut Encoder) {
+        self.as_slice().serialize(enc);
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let len = dec.read_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.write_u8(0),
+            Some(value) => {
+                enc.write_u8(1);
+                value.serialize(enc);
+            }
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        match dec.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(dec)?)),
+            other => Err(DecodeError::InvalidBool(other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_len(self.len());
+        for (k, v) in self {
+            k.serialize(enc);
+            v.serialize(enc);
+        }
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let len = dec.read_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(dec)?;
+            let v = V::deserialize(dec)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self, enc: &mut Encoder) {
+        enc.write_len(self.len());
+        for item in self {
+            item.serialize(enc);
+        }
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        let len = dec.read_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, enc: &mut Encoder) {
+                $(self.$idx.serialize(enc);)+
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+                Ok(($($name::deserialize(dec)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+impl Serialize for () {
+    fn serialize(&self, _enc: &mut Encoder) {}
+}
+impl<'de> Deserialize<'de> for () {
+    fn deserialize(_dec: &mut Decoder<'de>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut enc = Encoder::new();
+            enc.write_varint(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.read_varint().unwrap(), v);
+            dec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_overlong_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let bytes = [0xffu8; 11];
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            dec.read_varint(),
+            Err(DecodeError::VarintOverflow) | Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456789] {
+            let mut enc = Encoder::new();
+            enc.write_signed(v);
+            let bytes = enc.into_bytes();
+            assert_eq!(Decoder::new(&bytes).read_signed().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn length_overflow_guard() {
+        // Claim 1000 elements with 2 bytes of input.
+        let mut enc = Encoder::new();
+        enc.write_varint(1000);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            dec.read_len(),
+            Err(DecodeError::LengthOverflow { len: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn u8_range_checked() {
+        let mut enc = Encoder::new();
+        enc.write_varint(300);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            <u8 as Deserialize>::deserialize(&mut dec),
+            Err(DecodeError::IntOutOfRange { value: 300, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let bytes = [7u8];
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(
+            <bool as Deserialize>::deserialize(&mut dec),
+            Err(DecodeError::InvalidBool(7))
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut enc = Encoder::new();
+        enc.write_bytes(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(
+            <String as Deserialize>::deserialize(&mut dec),
+            Err(DecodeError::InvalidUtf8)
+        );
+    }
+}

@@ -1,24 +1,404 @@
-//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! Real `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
 //! vendored serde shim.
 //!
-//! The workspace derives serde traits on its data types so downstream
-//! consumers *can* wire up real serialization, but nothing in-tree
-//! serializes through serde today (the CLI's `.tlk` sidecar is a
-//! hand-rolled text format). In this network-less build the derives
-//! therefore expand to nothing; swapping the real `serde`/`serde_derive`
-//! back in (see `vendor/README.md`) restores full codegen without any
-//! source change.
+//! Earlier revisions of this crate expanded both derives to *nothing*,
+//! which meant a struct could appear to "support serialization" while
+//! silently serializing to zero bytes the moment anyone wired up a
+//! format. This version generates working field-by-field
+//! implementations against the shim's binary codec
+//! (`serde::codec::{Encoder, Decoder}`).
+//!
+//! Because the container has no network access, this derive cannot use
+//! `syn`/`quote`; it hand-parses the item's token stream. That keeps it
+//! honest but limited, and the limits are enforced loudly:
+//!
+//! * **Supported**: non-generic structs (named, tuple, unit) and enums
+//!   (unit, tuple, and struct variants, in any mix). `#[default]`, doc
+//!   comments, and other attributes are skipped. Field *types* are
+//!   never inspected — generated code leans on type inference
+//!   (`::serde::Deserialize::deserialize(dec)?` in field position), so
+//!   anything implementing the shim traits works.
+//! * **Rejected with `compile_error!`**: generic types, unions,
+//!   `#[serde(...)]` attributes (silently ignoring `#[serde(skip)]`
+//!   would corrupt the wire format), and anything the parser cannot
+//!   make sense of. A derive that cannot emit a real impl never again
+//!   degrades to a no-op.
+//!
+//! Wire format (must match the hand-written impls in `serde::codec`):
+//! struct fields in declaration order with no framing; enums as a
+//! varint variant index (declaration order, starting at 0) followed by
+//! the variant's fields. Reordering fields or variants is therefore a
+//! breaking format change — bump `qcir::persist::FORMAT_VERSION` when
+//! you do it.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+use std::str::FromStr;
 
-/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+/// Derives `serde::Serialize`: encodes fields in declaration order;
+/// enums are prefixed with their variant index.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, serialize_impl)
 }
 
-/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+/// Derives `serde::Deserialize`: the exact mirror of
+/// [`macro@Serialize`], returning a typed `DecodeError` on malformed
+/// input (unknown variant index, truncation, ...).
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, deserialize_impl)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    TokenStream::from_str(&code).expect("serde shim derive generated invalid Rust")
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips any number of outer attributes (`#[...]`) — doc comments,
+/// `#[default]`, etc. — but rejects `#[serde(...)]`: this derive has no
+/// attribute support, and silently ignoring `#[serde(skip)]` or
+/// `#[serde(rename)]` would corrupt the wire format without a whisper.
+fn skip_attrs(iter: &mut Tokens) -> Result<(), String> {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if matches!(
+                            g.stream().into_iter().next(),
+                            Some(TokenTree::Ident(i)) if i.to_string() == "serde"
+                        ) {
+                            return Err("serde shim derive: `#[serde(...)]` attributes are not \
+                                 supported — all fields encode in declaration order \
+                                 (see vendor/README.md)"
+                                .to_string());
+                        }
+                        iter.next();
+                        continue;
+                    }
+                }
+                return Ok(());
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_vis(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter)?;
+    skip_vis(&mut iter);
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".to_string()),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("serde shim derive: expected a type name".to_string()),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported; \
+             implement Serialize/Deserialize by hand (see vendor/README.md)"
+        ));
+    }
+    let body = match kw.as_str() {
+        "struct" => match iter.next() {
+            None => Body::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(tuple_arity(g.stream()))
+            }
+            _ => return Err(format!("serde shim derive: malformed struct `{name}`")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde shim derive: malformed enum `{name}`")),
+        },
+        other => {
+            return Err(format!(
+                "serde shim derive: `{other} {name}` is not supported (structs and enums only)"
+            ))
+        }
+    };
+    Ok(Input { name, body })
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names in
+/// declaration order. Types are skipped with angle-bracket-aware comma
+/// scanning (so `BTreeMap<K, V>` counts as one field).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter)?;
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: unexpected `{other}` in field list"
+                ))
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`"
+                ))
+            }
+        }
+        let mut depth = 0i64;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct/variant: depth-0 commas with
+/// angle-bracket tracking, tolerant of a trailing comma.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut arity = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    pending = true;
+                }
+                ',' if depth == 0 => {
+                    arity += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter)?;
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: unexpected `{other}` in enum body"
+                ))
+            }
+        };
+        let payload = match iter.peek() {
+            Some(TokenTree::Group(g)) => Some((g.delimiter(), g.stream())),
+            _ => None,
+        };
+        let kind = match payload {
+            Some((Delimiter::Parenthesis, inner)) => {
+                iter.next();
+                VariantKind::Tuple(tuple_arity(inner))
+            }
+            Some((Delimiter::Brace, inner)) => {
+                iter.next();
+                VariantKind::Named(parse_named_fields(inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the separating comma (tolerates `= discriminant`).
+        let mut depth = 0i64;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn serialize_impl(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::UnitStruct => "let _ = enc;".to_string(),
+        Body::NamedStruct(fields) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, enc);"))
+            .collect(),
+        Body::TupleStruct(arity) => (0..*arity)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i}, enc);"))
+            .collect(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| {
+                    let vname = &v.name;
+                    let tag = format!("::serde::codec::Encoder::write_variant(enc, {idx}u32);");
+                    match &v.kind {
+                        VariantKind::Unit => format!("{name}::{vname} => {{ {tag} }}"),
+                        VariantKind::Tuple(arity) => {
+                            let binds = (0..*arity)
+                                .map(|i| format!("__f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let writes: String = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::serialize(__f{i}, enc);"))
+                                .collect();
+                            format!("{name}::{vname}({binds}) => {{ {tag} {writes} }}")
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let writes: String = fields
+                                .iter()
+                                .map(|f| format!("::serde::Serialize::serialize({f}, enc);"))
+                                .collect();
+                            format!("{name}::{vname} {{ {binds} }} => {{ {tag} {writes} }}")
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn serialize(&self, enc: &mut ::serde::codec::Encoder) {{ {body} }} \
+         }}"
+    )
+}
+
+fn deserialize_impl(input: &Input) -> String {
+    let name = &input.name;
+    let read = "::serde::Deserialize::deserialize(dec)?";
+    let body = match &input.body {
+        Body::UnitStruct => {
+            format!("let _ = dec; ::core::result::Result::Ok({name})")
+        }
+        Body::NamedStruct(fields) => {
+            let inits: String = fields.iter().map(|f| format!("{f}: {read},")).collect();
+            format!("::core::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Body::TupleStruct(arity) => {
+            let inits: String = (0..*arity).map(|_| format!("{read},")).collect();
+            format!("::core::result::Result::Ok({name}({inits}))")
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(idx, v)| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{idx}u32 => ::core::result::Result::Ok({name}::{vname}),")
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let inits: String = (0..*arity).map(|_| format!("{read},")).collect();
+                            format!(
+                                "{idx}u32 => \
+                                 ::core::result::Result::Ok({name}::{vname}({inits})),"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String =
+                                fields.iter().map(|f| format!("{f}: {read},")).collect();
+                            format!(
+                                "{idx}u32 => \
+                                 ::core::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match ::serde::codec::Decoder::read_variant(dec)? {{ \
+                     {arms} \
+                     __other => ::core::result::Result::Err(\
+                         ::serde::codec::DecodeError::invalid_variant({name:?}, __other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+             fn deserialize(dec: &mut ::serde::codec::Decoder<'de>) \
+                 -> ::core::result::Result<Self, ::serde::codec::DecodeError> {{ {body} }} \
+         }}"
+    )
 }
