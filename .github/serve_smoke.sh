@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# CI smoke for `tetrislock serve`: background daemon, three good
+# circuits + one poisoned file dropped into the watch directory, then
+# assert three outputs, one typed quarantine, and a clean sentinel
+# drain (exit 0). Launched with `&` so the daemon sees a null stdin —
+# which must NOT trigger the stdin-EOF drain path.
+set -euo pipefail
+
+BASE="${1:?usage: serve_smoke.sh <scratch-dir>}"
+rm -rf "$BASE"
+mkdir -p "$BASE/watch"
+
+cargo build --release -p tetrislock-cli --bin tetrislock
+TLK=target/release/tetrislock
+
+"$TLK" serve \
+  --watch "$BASE/watch" --out-dir "$BASE/out" \
+  --workers 2 --poll-ms 50 --stability-ms 100 &
+SERVE_PID=$!
+
+qasm() {
+  printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[%d];\n%s\n' "$1" "$2"
+}
+qasm 4 'h q[0];
+cx q[0],q[1];
+ccx q[0],q[1],q[2];
+cx q[2],q[3];' > "$BASE/watch/smoke_a.qasm"
+qasm 3 'x q[0];
+cx q[0],q[1];
+ccx q[0],q[1],q[2];' > "$BASE/watch/smoke_b.qasm"
+qasm 5 'h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+cx q[3],q[4];' > "$BASE/watch/smoke_c.qasm"
+printf 'OPENQASM 2.0;\nqreg q[3;\nthis is not qasm' > "$BASE/watch/smoke_poison.qasm"
+
+for _ in $(seq 1 600); do
+  if [ -f "$BASE/out/smoke_a.restored.qasm" ] &&
+     [ -f "$BASE/out/smoke_b.restored.qasm" ] &&
+     [ -f "$BASE/out/smoke_c.restored.qasm" ] &&
+     [ -f "$BASE/watch/failed/smoke_poison.failure" ]; then
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve died before finishing (null stdin treated as drain?)" >&2
+    exit 1
+  fi
+  sleep 1
+done
+test -f "$BASE/out/smoke_a.restored.qasm"
+test -f "$BASE/out/smoke_b.restored.qasm"
+test -f "$BASE/out/smoke_c.restored.qasm"
+test -f "$BASE/watch/failed/smoke_poison.failure"
+test -f "$BASE/watch/failed/smoke_poison.qasm"
+
+touch "$BASE/watch/shutdown"
+wait "$SERVE_PID"   # must exit 0 — set -e fails the step otherwise
+
+# The drained status renders as a health card and reports the tallies.
+"$TLK" report --serve "$BASE/out/status.json" | tee /dev/stderr | grep -q 'draining'
+grep -q '"completed":3' "$BASE/out/status.json"
+grep -q '"quarantined":1' "$BASE/out/status.json"
+echo "serve smoke OK"

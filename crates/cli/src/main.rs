@@ -8,7 +8,9 @@
 //! tetrislock verify   <a> <b>
 //! tetrislock compile  <circuit> --out compiled.qasm [--device valencia|ideal|linear:<n>]
 //! tetrislock batch    <circuit>… --out-dir D [--jobs-dir D] [--workers N] [--resume]
+//! tetrislock serve    --watch D --out-dir D [--jobs-dir D] [--workers N] …
 //! tetrislock report   <trace.jsonl>
+//! tetrislock report   --serve <status.json>
 //! ```
 //!
 //! Circuits are read/written as OpenQASM 2.0 (`.qasm`) or RevLib
@@ -76,11 +78,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("verify") => verify(&rest(args)),
         Some("compile") => compile(&rest(args)),
         Some("batch") => batch_cmd(&rest(args)),
+        Some("serve") => serve_cmd(&rest(args)),
         Some("report") => report_cmd(&rest(args)),
         Some("help") | None => {
             match it.next().map(String::as_str) {
                 Some("verify") => print!("{}", verify_help()),
                 Some("batch") => print!("{}", batch_help()),
+                Some("serve") => print!("{}", serve_help()),
                 _ => print!("{USAGE}"),
             }
             Ok(())
@@ -138,24 +142,36 @@ fn command_span(command: Option<&str>) -> Option<qobs::Span> {
         "verify" => "cli.verify",
         "compile" => "cli.compile",
         "batch" => "cli.batch",
+        "serve" => "cli.serve",
         "report" => "cli.report",
         _ => return None,
     };
     Some(qobs::span(name))
 }
 
-/// Renders a `--trace` output file as a per-stage / per-tier summary.
-/// Validation is built in: a malformed trace is an error, not garbage
-/// output.
+/// Renders a `--trace` output file as a per-stage / per-tier summary,
+/// or (with the bare `--serve` flag) a serve daemon `status.json` as a
+/// health card. Validation is built in either way: malformed input is
+/// an error, not garbage output.
 fn report_cmd(args: &[String]) -> Result<(), String> {
-    let (paths, _) = parse(args)?;
-    let path = paths
-        .first()
-        .ok_or("report expects a trace file (.jsonl)")?;
+    // `--serve` is a bare flag; strip it before the flag-value parser.
+    let serve_view = args.iter().any(|a| a == "--serve");
+    let filtered: Vec<String> = args.iter().filter(|a| *a != "--serve").cloned().collect();
+    let (paths, _) = parse(&filtered)?;
+    let path = paths.first().ok_or(if serve_view {
+        "report --serve expects a status.json file"
+    } else {
+        "report expects a trace file (.jsonl)"
+    })?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let rendered = qobs::report::summarize(&text)
-        .map_err(|e| format!("invalid trace {}: {e}", path.display()))?;
+    let rendered = if serve_view {
+        qobs::report::render_serve_status(&text)
+            .map_err(|e| format!("invalid status file {}: {e}", path.display()))?
+    } else {
+        qobs::report::summarize(&text)
+            .map_err(|e| format!("invalid trace {}: {e}", path.display()))?
+    };
     print!("{rendered}");
     Ok(())
 }
@@ -178,7 +194,12 @@ commands:
             [--policy xcx|h|mixed] [--device …] [--trials N]
             crash-safe obfuscate→split→compile→recombine→verify over many
             circuits, checkpointed per job (`batch --help` for details)
+  serve     --watch D --out-dir D [--jobs-dir D] [--workers N] …
+            long-running daemon: watched intake with priorities and
+            cancellation, retry/backoff with crash-loop quarantine,
+            graceful drain (`serve --help` for the full contract)
   report    <trace.jsonl>                          summarize a qobs trace
+  report    --serve <status.json>                  render serve health
   help
 
 global options:
@@ -754,6 +775,196 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Long help for `serve`. Built at runtime so every advertised default
+/// (poll interval, stability window, stage timeout, strike budget,
+/// backoff curve) derives from the authoritative engine constants and
+/// can never go stale.
+fn serve_help() -> String {
+    use tetrislock::retry;
+    use tetrislock::serve;
+    format!(
+        "\
+tetrislock serve --watch D --out-dir D [options]
+
+Long-running protection daemon over the crash-safe batch machinery.
+Drop .qasm/.real circuit files into the watch directory; each is run
+through the full pipeline and emitted as <out-dir>/<id>.restored.qasm,
+with the input moved to <watch>/{done}/ on success. Every stage is
+checkpointed, so `kill -9` at any instant resumes to byte-identical
+output on the next start.
+
+Intake contract:
+  - a file is admitted only once its length and mtime have been stable
+    for the stability window (half-written inputs are never picked up)
+  - name a file p<k>--<id>.qasm to run at priority k (lower runs
+    first, FIFO within a priority; default priority {priority})
+  - drop <id>.cancel to cancel a queued or in-flight job
+  - drop a file named `{shutdown}` to drain: stop admitting, finish
+    in-flight jobs, write the final manifest and {status}, exit 0
+    (typing `shutdown` on stdin, or closing a non-empty stdin, does
+    the same)
+
+Self-healing: a failed, panicked, or timed-out stage costs a strike
+and is retried after a deterministic seeded backoff (base
+{base_delay} ms doubling to a {max_delay} ms ceiling, jitter derived
+from the job id — never the clock). After {strikes} consecutive
+strikes the crash-loop breaker opens and the job is quarantined to
+<watch>/{failed}/ with a typed failure report (<id>.failure; kinds:
+poisoned, crash_loop, timeout, config_mismatch) instead of wedging
+the queue. Unparseable inputs quarantine as `poisoned` at intake.
+
+Health: every poll rewrites <out-dir>/{status} atomically and emits a
+qobs heartbeat; render it with `tetrislock report --serve <{status}>`.
+The idle loop sleeps the poll interval — idle CPU is polling-bounded.
+
+Options:
+  --watch D              watch directory (required; must be a directory)
+  --out-dir D            outputs, {manifest}, {status} (required)
+  --jobs-dir D           checkpoint directory (default <out-dir>/jobs)
+  --workers N            worker threads            (default {workers})
+  --poll-ms MS           intake poll interval      (default {poll})
+  --stability-ms MS      input stability window    (default {stability})
+  --stage-timeout-ms MS  per-stage wall clock      (default {stage_timeout})
+  --strikes N            failures before quarantine (default {strikes})
+  --base-delay-ms MS     first retry backoff       (default {base_delay})
+  --max-delay-ms MS      backoff ceiling           (default {max_delay})
+  pipeline options as for batch:
+    [--seed N] [--split-seed N] [--limit K] [--policy xcx|h|mixed]
+    [--device ideal|valencia|linear:<n>] [--trials N]
+
+Exit status: 0 after a clean drain.
+",
+        done = serve::DONE_DIR,
+        failed = serve::FAILED_DIR,
+        priority = serve::DEFAULT_PRIORITY,
+        shutdown = serve::SHUTDOWN_SENTINEL,
+        status = serve::STATUS_FILE,
+        manifest = tetrislock::batch::MANIFEST_FILE,
+        workers = serve::DEFAULT_WORKERS,
+        poll = serve::DEFAULT_POLL_MS,
+        stability = serve::DEFAULT_STABILITY_MS,
+        stage_timeout = serve::DEFAULT_STAGE_TIMEOUT_MS,
+        strikes = retry::DEFAULT_MAX_STRIKES,
+        base_delay = retry::DEFAULT_BASE_DELAY_MS,
+        max_delay = retry::DEFAULT_MAX_DELAY_MS,
+    )
+}
+
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use tetrislock::job::JobConfig;
+    use tetrislock::retry::RetryPolicy;
+    use tetrislock::serve::{run_serve, ServeConfig, SHUTDOWN_SENTINEL};
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", serve_help());
+        return Ok(());
+    }
+    let (paths, options) = parse(args)?;
+    if let Some(extra) = paths.first() {
+        return Err(format!(
+            "serve takes no positional arguments (got {}); inputs go into the watch directory",
+            extra.display()
+        ));
+    }
+    let watch_dir = PathBuf::from(required(&options, "watch")?);
+    let out_dir = PathBuf::from(required(&options, "out-dir")?);
+    let jobs_dir = option(&options, "jobs-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| out_dir.join("jobs"));
+    let retry_defaults = RetryPolicy::default();
+    let defaults = JobConfig::default();
+    let serve_defaults = ServeConfig::default();
+    let config = ServeConfig {
+        watch_dir,
+        jobs_dir,
+        out_dir,
+        workers: parse_opt(&options, "workers", serve_defaults.workers)?,
+        poll_ms: parse_opt(&options, "poll-ms", serve_defaults.poll_ms)?,
+        stability_ms: parse_opt(&options, "stability-ms", serve_defaults.stability_ms)?,
+        stage_timeout_ms: parse_opt(
+            &options,
+            "stage-timeout-ms",
+            serve_defaults.stage_timeout_ms,
+        )?,
+        retry: RetryPolicy {
+            max_strikes: parse_opt(&options, "strikes", retry_defaults.max_strikes)?,
+            base_delay_ms: parse_opt(&options, "base-delay-ms", retry_defaults.base_delay_ms)?,
+            max_delay_ms: parse_opt(&options, "max-delay-ms", retry_defaults.max_delay_ms)?,
+        },
+        job: JobConfig {
+            seed: parse_opt(&options, "seed", defaults.seed)?,
+            split_seed: parse_opt(&options, "split-seed", defaults.split_seed)?,
+            gate_limit: parse_opt(&options, "limit", defaults.gate_limit)?,
+            policy: match option(&options, "policy").unwrap_or("xcx") {
+                "xcx" => GatePolicy::XCx,
+                "h" | "hadamard" => GatePolicy::Hadamard,
+                "mixed" => GatePolicy::Mixed,
+                other => return Err(format!("unknown policy `{other}`")),
+            },
+            device: option(&options, "device")
+                .unwrap_or(&defaults.device)
+                .to_string(),
+            trials: parse_opt(&options, "trials", defaults.trials)?,
+            verify_seed: defaults.verify_seed,
+        },
+    };
+
+    // Best-effort stdin drain trigger: a `shutdown`/`drain` line — or
+    // EOF on a stdin that actually carried bytes — drops the sentinel
+    // into the watch dir. A silent closed/null stdin (e.g. a CI
+    // background launch) reads EOF immediately with zero bytes and
+    // must NOT drain.
+    let stdin_watch = config.watch_dir.clone();
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let mut stdin = std::io::stdin();
+        let mut buf = [0u8; 256];
+        let mut seen = String::new();
+        let mut total = 0usize;
+        loop {
+            match stdin.read(&mut buf) {
+                Ok(0) => {
+                    if total > 0 {
+                        let _ = std::fs::write(stdin_watch.join(SHUTDOWN_SENTINEL), "");
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    total += n;
+                    seen.push_str(&String::from_utf8_lossy(&buf[..n]));
+                    if seen
+                        .lines()
+                        .any(|l| matches!(l.trim(), "shutdown" | "drain"))
+                    {
+                        let _ = std::fs::write(stdin_watch.join(SHUTDOWN_SENTINEL), "");
+                        return;
+                    }
+                    // Only complete lines matter; keep the tail.
+                    if let Some(idx) = seen.rfind('\n') {
+                        seen.drain(..=idx);
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    });
+
+    let summary = run_serve(&config).map_err(|e| e.to_string())?;
+    println!(
+        "serve drained: {} admitted, {} completed, {} quarantined, {} cancelled, {} retries",
+        summary.admitted,
+        summary.completed,
+        summary.quarantined,
+        summary.cancelled,
+        summary.retries
+    );
+    println!(
+        "manifest: {}\nstatus:   {}",
+        summary.manifest_path.display(),
+        summary.status_path.display()
+    );
+    Ok(())
+}
+
 /// Parses an optional `--flag value` with a typed default.
 fn parse_opt<T: std::str::FromStr>(
     options: &[(String, String)],
@@ -1062,6 +1273,84 @@ mod tests {
             "--resume",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn serve_help_derives_from_engine_constants() {
+        use tetrislock::{retry, serve};
+        assert!(run(&s(&["serve", "--help"])).is_ok());
+        assert!(run(&s(&["help", "serve"])).is_ok());
+        let help = serve_help();
+        for needle in [
+            "--watch".to_string(),
+            "--strikes".to_string(),
+            "--stage-timeout-ms".to_string(),
+            "--stability-ms".to_string(),
+            serve::SHUTDOWN_SENTINEL.to_string(),
+            serve::STATUS_FILE.to_string(),
+            "poisoned".to_string(),
+            "crash_loop".to_string(),
+            "config_mismatch".to_string(),
+            format!("default {}", serve::DEFAULT_POLL_MS),
+            format!("default {}", serve::DEFAULT_STABILITY_MS),
+            format!("default {}", serve::DEFAULT_STAGE_TIMEOUT_MS),
+            format!("default {}", retry::DEFAULT_MAX_STRIKES),
+            format!("{} ms doubling", retry::DEFAULT_BASE_DELAY_MS),
+            format!("{} ms ceiling", retry::DEFAULT_MAX_DELAY_MS),
+        ] {
+            assert!(help.contains(&needle), "serve help must mention {needle}");
+        }
+    }
+
+    #[test]
+    fn serve_refuses_non_directory_watch_path() {
+        let file = tmp("serve_watch_file");
+        std::fs::write(&file, "not a dir").unwrap();
+        let out = tmp("serve_out_nd");
+        let err = run(&s(&[
+            "serve",
+            "--watch",
+            file.to_str().unwrap(),
+            "--out-dir",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        // The typed core-side ServeError::NotADirectory, not a panic.
+        assert!(err.contains("not a directory"), "{err}");
+    }
+
+    #[test]
+    fn serve_requires_watch_and_rejects_positional_args() {
+        let err = run(&s(&["serve", "--out-dir", "x"])).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
+        let err = run(&s(&[
+            "serve",
+            "stray.qasm",
+            "--watch",
+            "w",
+            "--out-dir",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no positional"), "{err}");
+    }
+
+    #[test]
+    fn report_serve_renders_and_validates_status() {
+        let status = tmp("status.json");
+        std::fs::write(
+            &status,
+            "{\"type\":\"serve_status\",\"schema_version\":1,\"workers\":2,\
+\"queue_depth\":0,\"in_flight\":0,\"admitted\":3,\"completed\":3,\"quarantined\":0,\
+\"cancelled\":0,\"retries\":1,\"polls\":42,\"draining\":true}\n",
+        )
+        .unwrap();
+        assert!(run(&s(&["report", "--serve", status.to_str().unwrap()])).is_ok());
+        // A trace file is not a status file: loud error, not garbage.
+        let trace = tmp("not_status.jsonl");
+        std::fs::write(&trace, "{\"type\":\"meta\",\"schema_version\":1}\n").unwrap();
+        let err = run(&s(&["report", "--serve", trace.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("not a serve status"), "{err}");
     }
 
     #[test]

@@ -22,15 +22,29 @@ use crate::job::{
 };
 use qcir::{persist, Circuit};
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 static JOBS_COMPLETED: qobs::Counter = qobs::Counter::new("batch.jobs_completed");
 static JOBS_FAILED: qobs::Counter = qobs::Counter::new("batch.jobs_failed");
+static JOBS_PANICKED: qobs::Counter = qobs::Counter::new("batch.jobs_panicked");
 static JOBS_SKIPPED: qobs::Counter = qobs::Counter::new("batch.jobs_skipped");
+static TMPS_SWEPT: qobs::Counter = qobs::Counter::new("batch.tmps_swept");
 
 /// Name of the manifest file written into the output directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// Fixed first lines of every manifest.
+pub(crate) const MANIFEST_HEADER: &str =
+    "# tetrislock batch manifest\n# id\tstatus\ttier\toutput\n";
+
+/// Minimum age (against mtime) before the startup sweep deletes an
+/// orphan `.tmp` staging file. Young tmps may belong to a concurrent
+/// writer racing us in the same directory; anything older is debris
+/// from a crashed run.
+pub const TMP_SWEEP_MIN_AGE_SECS: u64 = 60;
 
 /// Batch-level configuration.
 #[derive(Debug, Clone)]
@@ -59,6 +73,37 @@ impl Default for BatchConfig {
     }
 }
 
+/// Terminal failure of one job, as recorded in outcomes and the
+/// manifest. `Panicked` is distinct from `Error` so resume semantics
+/// stay total: a worker that blew up mid-stage still leaves a typed
+/// terminal state behind instead of a missing manifest row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// A stage, checkpoint, or configuration error, rendered to text.
+    Error(String),
+    /// The worker thread panicked while driving the job; the payload is
+    /// the panic message.
+    Panicked(String),
+}
+
+impl JobFailure {
+    /// The underlying failure message.
+    pub fn message(&self) -> &str {
+        match self {
+            JobFailure::Error(m) | JobFailure::Panicked(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobFailure::Error(m) => f.write_str(m),
+            JobFailure::Panicked(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
 /// Terminal status of one job in a batch run.
 #[derive(Debug, Clone)]
 pub struct JobOutcome {
@@ -69,8 +114,8 @@ pub struct JobOutcome {
     pub steps_done: u64,
     /// `true` if the job was restored from a checkpoint this run.
     pub resumed: bool,
-    /// The verification verdict, or the failure message.
-    pub result: Result<JobVerdict, String>,
+    /// The verification verdict, or the typed failure.
+    pub result: Result<JobVerdict, JobFailure>,
 }
 
 /// What a finished (or failed) batch run produced.
@@ -121,6 +166,7 @@ pub fn run_batch(
         std::fs::create_dir_all(dir)
             .map_err(|e| batch_err(format!("cannot create {}: {e}", dir.display())))?;
     }
+    sweep_tmp_debris(&[&config.jobs_dir, &config.out_dir]);
     {
         let mut ids: Vec<&str> = inputs.iter().map(|(id, _)| id.as_str()).collect();
         ids.sort_unstable();
@@ -143,7 +189,16 @@ pub fn run_batch(
             scope.spawn(|| loop {
                 let next = queue.lock().expect("queue poisoned").pop_front();
                 let Some((id, circuit)) = next else { break };
-                let outcome = run_job(&id, circuit, config);
+                // A panicking stage must not take the manifest row with
+                // it: catch the unwind and record a typed terminal
+                // state so resume semantics stay total.
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&id, circuit, config)))
+                    .unwrap_or_else(|payload| JobOutcome {
+                        id: id.clone(),
+                        steps_done: 0,
+                        resumed: false,
+                        result: Err(JobFailure::Panicked(panic_message(payload.as_ref()))),
+                    });
                 outcomes.lock().expect("outcomes poisoned").push(outcome);
             });
         }
@@ -154,7 +209,11 @@ pub fn run_batch(
     for o in &outcomes {
         match &o.result {
             Ok(_) => JOBS_COMPLETED.incr(),
-            Err(_) => JOBS_FAILED.incr(),
+            Err(JobFailure::Panicked(_)) => {
+                JOBS_FAILED.incr();
+                JOBS_PANICKED.incr();
+            }
+            Err(JobFailure::Error(_)) => JOBS_FAILED.incr(),
         }
     }
     let _span = span.attr(
@@ -182,7 +241,7 @@ fn run_job(id: &str, circuit: Circuit, config: &BatchConfig) -> JobOutcome {
                 id: id.to_string(),
                 steps_done: 0,
                 resumed: false,
-                result: Err(err.to_string()),
+                result: Err(JobFailure::Error(err.to_string())),
             }
         }
     };
@@ -201,7 +260,7 @@ fn run_job(id: &str, circuit: Circuit, config: &BatchConfig) -> JobOutcome {
                 result: state
                     .verdict
                     .clone()
-                    .ok_or_else(|| "done without verdict".to_string()),
+                    .ok_or_else(|| JobFailure::Error("done without verdict".to_string())),
             };
         }
     }
@@ -211,7 +270,7 @@ fn run_job(id: &str, circuit: Circuit, config: &BatchConfig) -> JobOutcome {
                 id: id.to_string(),
                 steps_done: state.steps_done,
                 resumed,
-                result: Err(err.to_string()),
+                result: Err(JobFailure::Error(err.to_string())),
             };
         }
         if let Err(err) = save_checkpoint(&config.jobs_dir, &state) {
@@ -219,7 +278,7 @@ fn run_job(id: &str, circuit: Circuit, config: &BatchConfig) -> JobOutcome {
                 id: id.to_string(),
                 steps_done: state.steps_done,
                 resumed,
-                result: Err(err.to_string()),
+                result: Err(JobFailure::Error(err.to_string())),
             };
         }
         if state.is_done() {
@@ -230,8 +289,37 @@ fn run_job(id: &str, circuit: Circuit, config: &BatchConfig) -> JobOutcome {
                 result: state
                     .verdict
                     .clone()
-                    .ok_or_else(|| "done without verdict".to_string()),
+                    .ok_or_else(|| JobFailure::Error("done without verdict".to_string())),
             };
+        }
+    }
+}
+
+/// Renders a panic payload (normally a `&str` or `String`) to text.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Removes aged orphan `.tmp` staging files (debris from crashed runs)
+/// from the given directories, logging each removal through qobs.
+pub(crate) fn sweep_tmp_debris(dirs: &[&Path]) {
+    let min_age = std::time::Duration::from_secs(TMP_SWEEP_MIN_AGE_SECS);
+    for dir in dirs {
+        let Ok(removed) = persist::sweep_orphan_tmps(dir, min_age) else {
+            continue;
+        };
+        for path in removed {
+            TMPS_SWEPT.incr();
+            qobs::event(
+                "batch.tmp_swept",
+                &[("path", qobs::AttrValue::from(path.display().to_string()))],
+            );
         }
     }
 }
@@ -269,25 +357,52 @@ fn acquire_state(
     Ok((state, false))
 }
 
-/// Writes the deterministic batch manifest: one tab-separated line per
-/// job, sorted by id, plus a fixed header. Atomic (tmp + rename).
-fn write_manifest(path: &Path, outcomes: &[JobOutcome]) -> std::io::Result<()> {
-    let mut text = String::from("# tetrislock batch manifest\n# id\tstatus\ttier\toutput\n");
-    for o in outcomes {
-        let (status, tier) = match &o.result {
-            Ok(v) if v.equivalent => ("equivalent", v.tier.as_str()),
-            Ok(v) => ("NOT-EQUIVALENT", v.tier.as_str()),
-            Err(_) => ("FAILED", "-"),
-        };
-        let output = match &o.result {
-            Ok(_) => format!("{}.restored.qasm", o.id),
-            Err(message) => message.replace(['\t', '\n'], " "),
-        };
-        text.push_str(&format!("{}\t{status}\t{tier}\t{output}\n", o.id));
+/// The manifest columns (status, tier, output) for one outcome. Shared
+/// with the serve daemon so both writers produce byte-identical rows.
+pub(crate) fn manifest_row(o: &JobOutcome) -> (String, String, String) {
+    let (status, tier) = match &o.result {
+        Ok(v) if v.equivalent => ("equivalent", v.tier.as_str()),
+        Ok(v) => ("NOT-EQUIVALENT", v.tier.as_str()),
+        Err(JobFailure::Panicked(_)) => ("PANICKED", "-"),
+        Err(JobFailure::Error(_)) => ("FAILED", "-"),
+    };
+    let output = match &o.result {
+        Ok(_) => format!("{}.restored.qasm", o.id),
+        Err(failure) => failure.message().replace(['\t', '\n'], " "),
+    };
+    (status.to_string(), tier.to_string(), output)
+}
+
+/// Renders header + rows (already sorted by id) as manifest text.
+pub(crate) fn render_manifest<'a>(
+    rows: impl Iterator<Item = (&'a str, &'a str, &'a str, &'a str)>,
+) -> String {
+    let mut text = String::from(MANIFEST_HEADER);
+    for (id, status, tier, output) in rows {
+        text.push_str(&format!("{id}\t{status}\t{tier}\t{output}\n"));
     }
+    text
+}
+
+/// Atomically (tmp + rename) replaces the manifest file with `text`.
+pub(crate) fn write_manifest_text(path: &Path, text: &str) -> std::io::Result<()> {
     let tmp = persist::tmp_path(path);
     std::fs::write(&tmp, text)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Writes the deterministic batch manifest: one tab-separated line per
+/// job, sorted by id, plus a fixed header. Atomic (tmp + rename).
+fn write_manifest(path: &Path, outcomes: &[JobOutcome]) -> std::io::Result<()> {
+    let rows: Vec<(&str, (String, String, String))> = outcomes
+        .iter()
+        .map(|o| (o.id.as_str(), manifest_row(o)))
+        .collect();
+    let text = render_manifest(
+        rows.iter()
+            .map(|(id, (s, t, o))| (*id, s.as_str(), t.as_str(), o.as_str())),
+    );
+    write_manifest_text(path, &text)
 }
 
 #[cfg(test)]
@@ -365,9 +480,34 @@ mod tests {
         let report = run_batch(inputs(), &cfg).unwrap();
         assert_eq!(report.failed(), 3);
         for o in &report.outcomes {
-            let msg = o.result.as_ref().unwrap_err();
-            assert!(msg.contains("different job configuration"), "{msg}");
+            let failure = o.result.as_ref().unwrap_err();
+            assert!(
+                failure.message().contains("different job configuration"),
+                "{failure}"
+            );
         }
+    }
+
+    #[test]
+    fn panicking_job_records_panicked_manifest_state() {
+        // The hook matches by exact id, so a unique id keeps this safe
+        // alongside the other (parallel) tests in this binary.
+        std::env::set_var(crate::job::PANIC_JOB_ENV, "panicky_zeta");
+        let mut c = Circuit::with_name(3, "panicky");
+        c.x(0).cx(0, 1);
+        let report = run_batch(vec![("panicky_zeta".to_string(), c)], &config("panic", 1)).unwrap();
+        std::env::remove_var(crate::job::PANIC_JOB_ENV);
+        assert_eq!(report.failed(), 1);
+        assert!(
+            matches!(report.outcomes[0].result, Err(JobFailure::Panicked(_))),
+            "{:?}",
+            report.outcomes[0].result
+        );
+        let manifest = std::fs::read_to_string(&report.manifest_path).unwrap();
+        assert!(
+            manifest.contains("panicky_zeta\tPANICKED\t-\t"),
+            "{manifest}"
+        );
     }
 
     #[test]

@@ -45,6 +45,14 @@ static CHECKPOINT_FALLBACKS: qobs::Counter = qobs::Counter::new("job.checkpoint_
 /// crash-safety test suite wants to simulate, deterministically.
 pub const KILL_AFTER_CHECKPOINTS_ENV: &str = "TLK_BATCH_KILL_AFTER_CHECKPOINTS";
 
+/// Environment variable for deterministic *panic* injection: when set
+/// to a job id, every [`JobState::advance`] call for that job panics
+/// before doing any work. Unlike [`KILL_AFTER_CHECKPOINTS_ENV`] the
+/// process survives — this exercises the catch-unwind paths (the batch
+/// `PANICKED` manifest state, the serve crash-loop quarantine) rather
+/// than whole-process crash recovery.
+pub const PANIC_JOB_ENV: &str = "TLK_BATCH_PANIC_JOB";
+
 /// Process-wide count of successful checkpoint writes (drives the
 /// fault-injection hook).
 static CHECKPOINT_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -264,6 +272,12 @@ impl JobState {
             .attr("job", self.id.as_str())
             .attr("stage", self.stage.name())
             .attr("step", self.steps_done);
+        if std::env::var(PANIC_JOB_ENV).as_deref() == Ok(self.id.as_str()) {
+            panic!(
+                "injected panic for job {} ({} test hook)",
+                self.id, PANIC_JOB_ENV
+            );
+        }
         match self.stage {
             JobStage::Obfuscate => {
                 let insertion = insert_random_pairs(

@@ -27,7 +27,10 @@
 //! For many circuits at once, [`batch`] runs the whole pipeline as a
 //! pool of crash-safe jobs: each [`job::JobState`] checkpoints to disk
 //! after every stage (via `qcir::persist`), so a killed batch resumes
-//! to bit-identical output.
+//! to bit-identical output. [`serve`] turns that machinery into a
+//! long-running daemon: a watched intake directory, a priority queue
+//! with cancellation, [`retry`]-governed backoff with a crash-loop
+//! quarantine, and a graceful drain protocol.
 //!
 //! Equivalence claims (restoration works, wrong keys fail) are decided
 //! by the tiered `qverify` engine, which scales past dense-unitary
@@ -72,6 +75,8 @@ pub mod multiway;
 pub mod obfuscate;
 pub mod policy;
 pub mod recombine;
+pub mod retry;
+pub mod serve;
 pub mod slots;
 
 pub use error::LockError;

@@ -1,0 +1,246 @@
+//! Retry/backoff policy and crash-loop circuit breaker for the serve
+//! daemon.
+//!
+//! Everything here is deliberately *deterministic*: the backoff jitter
+//! is derived from a caller-supplied seed via splitmix64, never from
+//! the clock or ambient entropy, so a failing serve run replays its
+//! exact retry schedule under the same seed. The schedule is also
+//! provably well-behaved:
+//!
+//! - **bounded**: every delay is `<= max_delay_ms`;
+//! - **monotone**: delays never shrink from one attempt to the next
+//!   (jitter only shaves *downward* from a doubling backbone, and
+//!   `0.75 * 2b > b` keeps the shaved values ordered);
+//! - **capped exactly**: once the doubling backbone reaches the cap,
+//!   the delay is exactly `max_delay_ms` with no jitter.
+//!
+//! The [`CircuitBreaker`] is the crash-loop guard: `N` consecutive
+//! failures open it (the serve worker quarantines the job at that
+//! point); a successful probe closes it again and resets the strike
+//! count.
+
+/// Default number of consecutive failures (strikes) before the breaker
+/// opens and the job is quarantined.
+pub const DEFAULT_MAX_STRIKES: u32 = 3;
+
+/// Default first-retry backoff in milliseconds.
+pub const DEFAULT_BASE_DELAY_MS: u64 = 50;
+
+/// Default backoff ceiling in milliseconds.
+pub const DEFAULT_MAX_DELAY_MS: u64 = 2_000;
+
+/// Bounded exponential backoff with deterministic seeded jitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive failures tolerated before quarantine.
+    pub max_strikes: u32,
+    /// Backoff for the first retry (doubles per attempt).
+    pub base_delay_ms: u64,
+    /// Hard ceiling on any single backoff delay.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_strikes: DEFAULT_MAX_STRIKES,
+            base_delay_ms: DEFAULT_BASE_DELAY_MS,
+            max_delay_ms: DEFAULT_MAX_DELAY_MS,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (0-based), in milliseconds.
+    ///
+    /// The backbone is `base * 2^attempt`, saturating at
+    /// `max_delay_ms`. Below the cap, seeded jitter shaves up to 25%
+    /// off the backbone; at the cap the delay is exactly
+    /// `max_delay_ms`. Same `(policy, seed, attempt)` always yields the
+    /// same delay.
+    pub fn delay_ms(&self, seed: u64, attempt: u32) -> u64 {
+        // saturating_mul, not checked_shl: shifts only guard the shift
+        // *amount*, silently truncating overflowed value bits.
+        let backbone = if attempt >= 63 {
+            self.max_delay_ms
+        } else {
+            self.base_delay_ms
+                .saturating_mul(1u64 << attempt)
+                .min(self.max_delay_ms)
+        };
+        if backbone >= self.max_delay_ms {
+            return self.max_delay_ms;
+        }
+        // frac in [0, 1): 53 uniform bits of the mixed seed.
+        let mixed = splitmix64(seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let frac = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        let shave = ((backbone / 4) as f64 * frac) as u64;
+        backbone - shave
+    }
+
+    /// The first `n` delays for `seed`, as one vector (for logging,
+    /// reports, and the proptest suite).
+    pub fn schedule(&self, seed: u64, n: u32) -> Vec<u64> {
+        (0..n).map(|k| self.delay_ms(seed, k)).collect()
+    }
+}
+
+/// splitmix64: a tiny, well-distributed 64-bit mixer. Used only to
+/// derive jitter fractions from a seed — never from the clock.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Breaker position. `Closed` passes work through, `Open` means the
+/// strike budget is spent (serve quarantines at this point), `HalfOpen`
+/// lets exactly one probe attempt through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures accumulate strikes.
+    Closed,
+    /// Strike budget exhausted — no more attempts until a probe.
+    Open,
+    /// One probe attempt is in flight; its outcome decides the state.
+    HalfOpen,
+}
+
+/// Crash-loop circuit breaker: opens after exactly `max_strikes`
+/// consecutive failures, re-closes after a successful probe.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    max_strikes: u32,
+    strikes: u32,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tolerating `max_strikes` consecutive failures
+    /// (clamped to at least 1).
+    pub fn new(max_strikes: u32) -> Self {
+        CircuitBreaker {
+            max_strikes: max_strikes.max(1),
+            strikes: 0,
+            state: BreakerState::Closed,
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn strikes(&self) -> u32 {
+        self.strikes
+    }
+
+    /// `true` once the strike budget is spent.
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// Records a failed attempt. A failure while half-open re-opens
+    /// immediately; otherwise the breaker opens once `strikes` reaches
+    /// `max_strikes`. Returns the new state.
+    pub fn record_failure(&mut self) -> BreakerState {
+        self.strikes = self.strikes.saturating_add(1);
+        if self.state == BreakerState::HalfOpen || self.strikes >= self.max_strikes {
+            self.state = BreakerState::Open;
+        }
+        self.state
+    }
+
+    /// Records a successful attempt (including a successful half-open
+    /// probe): the breaker closes and the strike count resets.
+    pub fn record_success(&mut self) {
+        self.strikes = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Asks to send a probe. From `Open` this transitions to `HalfOpen`
+    /// and returns `true` (send exactly one attempt); from `Closed` it
+    /// returns `true` without a transition; from `HalfOpen` it returns
+    /// `false` (a probe is already outstanding).
+    pub fn probe(&mut self) -> bool {
+        match self.state {
+            BreakerState::Open => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::HalfOpen => false,
+            BreakerState::Closed => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.schedule(7, 10), p.schedule(7, 10));
+        // Different seeds jitter differently somewhere below the cap.
+        assert_ne!(p.schedule(1, 6), p.schedule(2, 6));
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        let p = RetryPolicy {
+            max_strikes: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+        };
+        for seed in 0..50u64 {
+            let s = p.schedule(seed, 12);
+            for w in s.windows(2) {
+                assert!(w[0] <= w[1], "seed {seed}: schedule not monotone: {s:?}");
+            }
+            assert!(s.iter().all(|&d| d <= p.max_delay_ms), "{s:?}");
+            assert_eq!(*s.last().unwrap(), p.max_delay_ms, "cap reached exactly");
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_ms(3, 200), p.max_delay_ms);
+    }
+
+    #[test]
+    fn breaker_opens_after_exactly_n_strikes() {
+        let mut b = CircuitBreaker::new(3);
+        assert_eq!(b.record_failure(), BreakerState::Closed);
+        assert_eq!(b.record_failure(), BreakerState::Closed);
+        assert_eq!(b.record_failure(), BreakerState::Open);
+        assert!(b.is_open());
+        assert_eq!(b.strikes(), 3);
+    }
+
+    #[test]
+    fn probe_then_success_recloses() {
+        let mut b = CircuitBreaker::new(1);
+        b.record_failure();
+        assert!(b.is_open());
+        assert!(b.probe());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.probe(), "only one probe may be outstanding");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.strikes(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = CircuitBreaker::new(5);
+        for _ in 0..5 {
+            b.record_failure();
+        }
+        assert!(b.probe());
+        assert_eq!(b.record_failure(), BreakerState::Open);
+    }
+}

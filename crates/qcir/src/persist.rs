@@ -289,6 +289,54 @@ pub fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Removes orphaned `*.tmp` staging files from `dir` and returns the
+/// paths it deleted.
+///
+/// A `.tmp` sibling only exists between [`save`]'s write and its
+/// rename; one that outlives its writer is debris from a crashed
+/// process. The `min_age` gate (measured against the file's mtime)
+/// protects staging files a *concurrent* writer is producing right
+/// now — callers pass their tolerance explicitly ([`std::time::Duration::ZERO`]
+/// sweeps unconditionally, which is what tests use).
+///
+/// Non-`.tmp` entries, subdirectories, and files younger than
+/// `min_age` are left untouched. Files that vanish mid-sweep (another
+/// process won the race) are skipped, not errors.
+///
+/// # Errors
+///
+/// Only if `dir` itself cannot be read.
+pub fn sweep_orphan_tmps(
+    dir: &Path,
+    min_age: std::time::Duration,
+) -> std::io::Result<Vec<PathBuf>> {
+    let now = std::time::SystemTime::now();
+    let mut removed = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".tmp"));
+        if !is_tmp || !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        // A future mtime (clock skew) counts as age zero.
+        let age = meta
+            .modified()
+            .ok()
+            .and_then(|m| now.duration_since(m).ok())
+            .unwrap_or(std::time::Duration::ZERO);
+        if age >= min_age && fs::remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -164,6 +164,50 @@ pub fn summarize(text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders a serve-daemon `status.json` (one flat JSON object of type
+/// `serve_status`; schema in `docs/observability.md`) as a
+/// human-readable health card for `tetrislock report --serve`.
+///
+/// Returns an error for non-JSON input or an object of the wrong type,
+/// so pointing `--serve` at a trace file fails loudly instead of
+/// rendering garbage.
+pub fn render_serve_status(text: &str) -> Result<String, String> {
+    let line = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| "empty status file".to_string())?;
+    let obj = json::parse_line(line)?;
+    match obj.get_str("type") {
+        Some("serve_status") => {}
+        Some(other) => return Err(format!("not a serve status file (type={other})")),
+        None => return Err("not a serve status file (no type field)".to_string()),
+    }
+    let num = |key: &str| obj.get_u64(key).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serve status (schema v{})\n",
+        num("schema_version")
+    ));
+    out.push_str(&format!(
+        "  state: {}\n",
+        if obj.get_bool("draining") == Some(true) {
+            "draining"
+        } else {
+            "running"
+        }
+    ));
+    out.push_str(&format!("  workers:     {:>8}\n", num("workers")));
+    out.push_str(&format!("  queue depth: {:>8}\n", num("queue_depth")));
+    out.push_str(&format!("  in flight:   {:>8}\n", num("in_flight")));
+    out.push_str(&format!("  admitted:    {:>8}\n", num("admitted")));
+    out.push_str(&format!("  completed:   {:>8}\n", num("completed")));
+    out.push_str(&format!("  quarantined: {:>8}\n", num("quarantined")));
+    out.push_str(&format!("  cancelled:   {:>8}\n", num("cancelled")));
+    out.push_str(&format!("  retries:     {:>8}\n", num("retries")));
+    out.push_str(&format!("  polls:       {:>8}\n", num("polls")));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +247,33 @@ mod tests {
     fn propagates_validation_errors() {
         assert!(summarize("").is_err());
         assert!(summarize("{\"type\":\"span\"}\n").is_err());
+    }
+
+    #[test]
+    fn renders_serve_status_card() {
+        let status = "{\"type\":\"serve_status\",\"schema_version\":1,\"workers\":4,\
+\"queue_depth\":2,\"in_flight\":1,\"admitted\":9,\"completed\":6,\"quarantined\":1,\
+\"cancelled\":1,\"retries\":3,\"polls\":120,\"draining\":false}\n";
+        let card = render_serve_status(status).unwrap();
+        assert!(card.contains("state: running"), "{card}");
+        assert!(card.contains("queue depth"), "{card}");
+        assert!(
+            card.lines()
+                .any(|l| l.contains("completed") && l.ends_with('6')),
+            "{card}"
+        );
+
+        let draining = status.replace("\"draining\":false", "\"draining\":true");
+        assert!(render_serve_status(&draining)
+            .unwrap()
+            .contains("state: draining"));
+    }
+
+    #[test]
+    fn serve_status_rejects_wrong_input() {
+        assert!(render_serve_status("").is_err());
+        assert!(render_serve_status("not json").is_err());
+        assert!(render_serve_status("{\"type\":\"meta\",\"schema_version\":1}").is_err());
     }
 
     #[test]

@@ -148,6 +148,55 @@ fn resume_from_prev_generation_completes_bit_identically() {
 }
 
 #[test]
+fn orphan_tmp_sweep_removes_only_aged_tmps() {
+    // The startup sweep clears `.tmp` debris from crashed runs but must
+    // never touch real checkpoints, outputs, or tmps young enough to
+    // belong to a concurrent writer.
+    let (jobs, out) = tmp_dirs("sweep");
+    let full = two_generations(&jobs, &out, "t", 2);
+    let orphan = jobs.join("dead.job.tmp");
+    std::fs::write(&orphan, b"debris from a crashed run").unwrap();
+    let decoy = jobs.join("not_a_tmp.job");
+    std::fs::write(&decoy, b"named like a checkpoint").unwrap();
+
+    // With the production minimum age the fresh tmp is NOT removed —
+    // it could be a concurrent writer mid-rename.
+    let min_age = std::time::Duration::from_secs(tetrislock::batch::TMP_SWEEP_MIN_AGE_SECS);
+    let removed = qcir::persist::sweep_orphan_tmps(&jobs, min_age).unwrap();
+    assert!(
+        removed.is_empty(),
+        "fresh tmp swept too eagerly: {removed:?}"
+    );
+    assert!(orphan.exists());
+
+    // With a zero age gate (how the daemon would see a tmp older than
+    // the gate), exactly the orphan goes; everything else stays.
+    let removed = qcir::persist::sweep_orphan_tmps(&jobs, std::time::Duration::ZERO).unwrap();
+    assert_eq!(removed, vec![orphan.clone()]);
+    assert!(!orphan.exists());
+    assert!(decoy.exists(), "non-tmp file must survive the sweep");
+    assert!(checkpoint_path(&jobs, "t").exists());
+    assert!(prev_checkpoint_path(&jobs, "t").exists());
+
+    // The surviving checkpoints still resume.
+    let resumed = load_checkpoint(&jobs, "t").unwrap().unwrap();
+    assert_eq!(resumed.steps_done, full.steps_done);
+}
+
+#[test]
+fn orphan_tmp_sweep_ignores_subdirectories() {
+    let (jobs, _out) = tmp_dirs("sweep_dirs");
+    let subdir = jobs.join("nested.tmp");
+    std::fs::create_dir_all(&subdir).unwrap();
+    let removed = qcir::persist::sweep_orphan_tmps(&jobs, std::time::Duration::ZERO).unwrap();
+    assert!(removed.is_empty(), "{removed:?}");
+    assert!(
+        subdir.exists(),
+        "a directory named *.tmp must not be touched"
+    );
+}
+
+#[test]
 fn torn_tmp_file_is_ignored_by_resume() {
     // A crash between tmp-write and rename leaves `<ckpt>.tmp` behind;
     // resume must load the intact primary and not trip over the orphan.
