@@ -1,11 +1,12 @@
 //! `perfdump_qverify` — machine-readable ZX-tier perf trajectory.
 //!
 //! Runs the ZX scaling suite — certify (Clifford+T restore round-trips
-//! at 20/30/40 qubits), stall (a corrupted restore whose diagonal
+//! at 20/30/40 qubits), stall (a corrupted restore whose atom-sum
 //! residue cannot be witnessed, i.e. the price of falling through),
-//! and witness (wrong-key rejection via the replay-confirmed basis
-//! witness at 20/30 qubits, on both the bit-replay and the
-//! statevector-replay paths) — and writes `BENCH_qverify.json` with
+//! and witness (wrong-key rejection via the replay-confirmed witness:
+//! bit replay at 20/30 qubits, basis-column replay at 20 qubits, and
+//! the sharded out-of-core column at 30 qubits — past the statevector
+//! cap) — and writes `BENCH_qverify.json` with
 //! the median wall-clock per case, so the ZX tier's cost trajectory is
 //! recorded on every run instead of claimed once.
 //!
@@ -87,14 +88,17 @@ fn main() {
             outcome: "equivalent",
         });
 
-        // stall: a corrupted restore with a diagonal residue — the ZX
-        // tier must pay the full reduction *and* decline to answer.
-        // The stray T is *prefixed* so the miter's residue is a bare
-        // diagonal T† at the boundary: an appended T would be
-        // conjugated by the restore, become basis-visible, and be
-        // (correctly!) witnessed at widths within the replay cap.
+        // stall: a corrupted restore whose residue cannot be witnessed —
+        // the ZX tier must pay the full reduction *and* decline to
+        // answer. A bare T residue no longer works here (relative-phase
+        // replay certifies diagonal residues), so the corruption is an
+        // atom-sum identity: rz(0.2)·rz(−0.1)·rz(−0.1) is formally
+        // nonzero to the exact phase algebra (distinct atoms never
+        // collapse), stalling the reduction, while its numeric phase
+        // (~2.8e-17 rad) sits far below every replay tolerance — so no
+        // witness can confirm and the stall honestly falls through.
         let mut corrupted = Circuit::new(n);
-        corrupted.t(0);
+        corrupted.rz(0.2, 0).rz(-0.1, 0).rz(-0.1, 0);
         corrupted.compose(&restored).expect("same register");
         eprintln!("timing zx_stall_{n}q…");
         let ms = qobs::time_median_ms(&format!("perfdump.zx_stall_{n}q"), 1, reps, || {
@@ -133,21 +137,29 @@ fn main() {
         });
     }
 
-    // witness (statevector replay): a non-classical residue within the
-    // statevector cap, confirmed by one basis replay of the miter.
-    {
-        let n = if smoke { 14 } else { 20 };
+    // witness (basis-column replay): a non-classical residue confirmed
+    // by replaying single basis columns of the miter. At 14/20 qubits
+    // this costs one sharded column; the 30-qubit case sits past the
+    // statevector cap and is only decidable through the out-of-core
+    // sharded column — the headline of the witness-past-28q work.
+    let column_widths: &[u32] = if smoke { &[14] } else { &[20, 30] };
+    for &n in column_widths {
         let mut orig = Circuit::new(n);
         orig.t(0).tdg(0).swap(3, 7);
         let bad = Circuit::new(n);
-        eprintln!("timing zx_witness_basis_replay_{n}q…");
-        let name = format!("perfdump.zx_witness_basis_replay_{n}q");
+        let label = if n > qverify::MAX_STIMULUS_QUBITS {
+            "sharded"
+        } else {
+            "basis_replay"
+        };
+        eprintln!("timing zx_witness_{label}_{n}q…");
+        let name = format!("perfdump.zx_witness_{label}_{n}q");
         let ms = qobs::time_median_ms(&name, 1, reps, || {
             let report = verifier.check_zx(&orig, &bad).expect("witness confirms");
             assert!(matches!(report.verdict, Verdict::Inequivalent { .. }));
         });
         cases.push(CaseResult {
-            name: format!("zx_witness_basis_replay_{n}q"),
+            name: format!("zx_witness_{label}_{n}q"),
             qubits: n,
             gates: orig.gate_count(),
             reps,
@@ -180,9 +192,12 @@ fn render_json(cases: &[CaseResult], smoke: bool) -> String {
     format!(
         "{{\n  \"suite\": \"qverify_zx\",\n  \"schema_version\": 1,\n  \"smoke\": {smoke},\n  \
          \"engine\": {{\"max_mcx_controls\": {}, \"stimulus_cap_qubits\": {}, \
-         \"dyadic_grid_log\": {}}},\n  \"cases\": [\n{body}  ]\n}}\n",
+         \"dyadic_grid_log\": {}, \"column_cap_qubits\": {}, \
+         \"column_branching_cap\": {}}},\n  \"cases\": [\n{body}  ]\n}}\n",
         qverify::MAX_MCX_CONTROLS,
         qverify::MAX_STIMULUS_QUBITS,
         qverify::DYADIC_GRID_LOG,
+        qverify::MAX_COLUMN_QUBITS,
+        qverify::MAX_COLUMN_BRANCHING,
     )
 }

@@ -467,11 +467,16 @@ Tier selection — the cheapest applicable decision procedure wins:
                  float tolerance); full reduction to bare wires is an
                  exact equivalence proof. Two-sided: a stalled residue
                  can also certify INEQUIVALENCE, but only through a
-                 replay-confirmed basis witness — a bit-level replay of
-                 both circuits (classical pairs, <= 63 wires) or one
-                 statevector basis replay (<= {stimulus} qubits). With no
-                 confirmed witness the stall proves nothing and falls
-                 through.
+                 replay-confirmed witness — a bit-level replay of both
+                 circuits (classical pairs, any width), or basis-column
+                 replays of the miter: sharded out-of-core up to
+                 {column} wires when the miter has <= {branching} branching
+                 gates (H-like), dense statevector otherwise
+                 (<= {stimulus} qubits). A magnitude deficit is a basis-
+                 column witness; two diverging unit phases are a
+                 relative-phase witness (the diagonal-residue shape,
+                 e.g. T vs Tdg). With no confirmed witness the stall
+                 proves nothing and falls through.
   dense-unitary  <= {dense} qubits. Exact full-unitary comparison; produces
                  a concrete witness (basis column or relative phase) on
                  failure.
@@ -494,6 +499,8 @@ Exit status: 0 iff equivalent, 1 otherwise (including inconclusive).
         classical = qverify::CLASSICAL_EXHAUSTIVE_MAX_QUBITS,
         dense = qverify::MAX_UNITARY_QUBITS,
         stimulus = qverify::MAX_STIMULUS_QUBITS,
+        column = qverify::MAX_COLUMN_QUBITS,
+        branching = qverify::MAX_COLUMN_BRANCHING,
     )
 }
 
@@ -1017,7 +1024,15 @@ mod tests {
         assert!(run(&s(&["verify", "--help"])).is_ok());
         assert!(run(&s(&["verify", "-h"])).is_ok());
         assert!(run(&s(&["help", "verify"])).is_ok());
-        for needle in ["zx-calculus", "--trials", "--seed", "stimulus"] {
+        for needle in [
+            "zx-calculus",
+            "--trials",
+            "--seed",
+            "stimulus",
+            "relative-phase",
+            "sharded out-of-core",
+            &qverify::MAX_COLUMN_QUBITS.to_string(),
+        ] {
             assert!(
                 verify_help().contains(needle),
                 "verify help must document {needle}"

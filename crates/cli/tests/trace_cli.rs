@@ -82,11 +82,15 @@ fn verify_trace_roundtrip_and_report() {
 
 #[test]
 fn dense_tier_trace_records_kernel_class_counts() {
-    // t vs tdg: non-classical, non-Clifford, and the ZX residue is a
-    // phase-only difference no basis witness can confirm — so the dense
-    // tier decides, driving the qsim statevector kernels.
-    let a = write("dt_t.qasm", &format!("{HEADER}t q[0];\n"));
-    let b = write("dt_tdg.qasm", &format!("{HEADER}tdg q[0];\n"));
+    // An 8-control mcx (past the ZX translation bound) with a t/tdg
+    // garnish: non-classical, non-Clifford, and the miter never even
+    // becomes a ZX diagram — so the dense tier decides, driving the
+    // qsim statevector kernels. (t vs tdg alone no longer works here:
+    // the ZX tier certifies it with a phase-replay witness.)
+    let wide = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[9];\n";
+    let mcx = "mcx8 q[0],q[1],q[2],q[3],q[4],q[5],q[6],q[7],q[8];\n";
+    let a = write("dt_t.qasm", &format!("{wide}{mcx}t q[8];\n"));
+    let b = write("dt_tdg.qasm", &format!("{wide}{mcx}tdg q[8];\n"));
     let trace = tmp("dt_dense.jsonl");
 
     let out = bin()

@@ -1,0 +1,241 @@
+//! Wide computational-basis states as limb-backed bit vectors.
+//!
+//! The verification stack replays candidate basis inputs through
+//! classical bit evaluation at whatever register width a circuit uses.
+//! A bare `u64` caps that replay at 63 wires; [`BasisBits`] removes the
+//! cap by storing the basis index as little-endian 64-bit limbs
+//! (bit `k` of the state is qubit `k`, exactly like the `usize`
+//! encoding used everywhere else in the workspace).
+//!
+//! The type is deliberately tiny: constructors, bit get/set/toggle, a
+//! lossless narrowing back to `u64` when the width allows it, and a
+//! binary `Display` matching the `{:#b}` spelling witnesses have always
+//! used. No arithmetic — basis states are labels, not numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use qcir::BasisBits;
+//!
+//! let mut x = BasisBits::zeros(96);
+//! x.set(95, true);
+//! x.set(2, true);
+//! assert!(x.bit(95) && x.bit(2) && !x.bit(50));
+//! assert_eq!(x.count_ones(), 2);
+//! assert_eq!(x.to_u64(), None); // bit 95 does not fit
+//! x.set(95, false);
+//! assert_eq!(x.to_u64(), Some(0b100));
+//! ```
+
+use std::fmt;
+
+/// A computational-basis state over `width` qubits, bit `k` = qubit `k`.
+///
+/// Stored as little-endian `u64` limbs; bits at or above `width` are
+/// kept zero as an invariant, so equality and hashing are structural.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BasisBits {
+    width: u32,
+    limbs: Vec<u64>,
+}
+
+/// Number of limbs needed for `width` bits.
+fn limbs_for(width: u32) -> usize {
+    (width as usize).div_ceil(64).max(1)
+}
+
+impl BasisBits {
+    /// The all-zeros basis state over `width` qubits.
+    pub fn zeros(width: u32) -> Self {
+        BasisBits {
+            width,
+            limbs: vec![0; limbs_for(width)],
+        }
+    }
+
+    /// Embeds a `u64` basis index into a `width`-qubit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has a bit set at or above `width` — that would
+    /// not name a basis state of the register.
+    pub fn from_u64(width: u32, value: u64) -> Self {
+        if width < 64 {
+            assert!(
+                width == 0 && value == 0 || value >> width == 0,
+                "basis index {value:#b} does not fit {width} qubits"
+            );
+        }
+        let mut out = Self::zeros(width);
+        out.limbs[0] = value;
+        out
+    }
+
+    /// Register width in qubits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Bit `index` (qubit `index`); `false` beyond the width.
+    pub fn bit(&self, index: u32) -> bool {
+        if index >= self.width {
+            return false;
+        }
+        self.limbs[index as usize / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Sets bit `index` (qubit `index`) to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the register.
+    pub fn set(&mut self, index: u32, value: bool) {
+        assert!(
+            index < self.width,
+            "bit {index} outside {} qubits",
+            self.width
+        );
+        let limb = &mut self.limbs[index as usize / 64];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// Flips bit `index` (qubit `index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the register.
+    pub fn toggle(&mut self, index: u32) {
+        assert!(
+            index < self.width,
+            "bit {index} outside {} qubits",
+            self.width
+        );
+        self.limbs[index as usize / 64] ^= 1u64 << (index % 64);
+    }
+
+    /// `true` for the all-zeros state.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// The state as a `u64` basis index, when every set bit fits —
+    /// i.e. the lossless narrowing back to the legacy encoding.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        Some(self.limbs[0])
+    }
+}
+
+impl fmt::Display for BasisBits {
+    /// Binary with a `0b` prefix and no leading zeros (`0b0` for the
+    /// all-zeros state) — the same spelling `{:#b}` gives a `u64`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let top = (0..self.width).rev().find(|&i| self.bit(i));
+        match top {
+            None => f.write_str("0b0"),
+            Some(top) => {
+                f.write_str("0b")?;
+                for i in (0..=top).rev() {
+                    f.write_str(if self.bit(i) { "1" } else { "0" })?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_of_any_width() {
+        for width in [0, 1, 63, 64, 65, 128, 200] {
+            let x = BasisBits::zeros(width);
+            assert_eq!(x.width(), width);
+            assert!(x.is_zero());
+            assert_eq!(x.count_ones(), 0);
+            assert_eq!(x.to_u64(), Some(0));
+        }
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        for width in [5, 63, 64, 65, 128] {
+            let value = 0b10110 & ((1u64 << width.min(63)) - 1);
+            let x = BasisBits::from_u64(width, value);
+            assert_eq!(x.to_u64(), Some(value));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_rejects_overflow() {
+        BasisBits::from_u64(3, 0b1000);
+    }
+
+    #[test]
+    fn set_toggle_bit_across_limb_boundary() {
+        let mut x = BasisBits::zeros(130);
+        for i in [0, 63, 64, 65, 127, 128, 129] {
+            assert!(!x.bit(i));
+            x.set(i, true);
+            assert!(x.bit(i), "bit {i}");
+            x.toggle(i);
+            assert!(!x.bit(i), "bit {i}");
+            x.toggle(i);
+            assert!(x.bit(i), "bit {i}");
+            x.set(i, false);
+        }
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn to_u64_refuses_high_bits() {
+        let mut x = BasisBits::zeros(70);
+        x.set(65, true);
+        assert_eq!(x.to_u64(), None);
+        x.set(65, false);
+        x.set(63, true);
+        assert_eq!(x.to_u64(), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn display_matches_u64_binary_format() {
+        for value in [0u64, 1, 0b1010, 0x5EED] {
+            let x = BasisBits::from_u64(40, value);
+            assert_eq!(x.to_string(), format!("{value:#b}"));
+        }
+        let mut wide = BasisBits::zeros(100);
+        wide.set(64, true);
+        wide.set(0, true);
+        let text = wide.to_string();
+        assert!(text.starts_with("0b1"));
+        assert_eq!(text.len(), 2 + 65);
+        assert!(text.ends_with('1'));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mut a = BasisBits::zeros(90);
+        let mut b = BasisBits::zeros(90);
+        a.set(88, true);
+        assert_ne!(a, b);
+        b.set(88, true);
+        assert_eq!(a, b);
+        // Different widths are different states even with equal bits.
+        assert_ne!(BasisBits::zeros(64), BasisBits::zeros(65));
+    }
+}

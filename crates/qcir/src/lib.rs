@@ -10,6 +10,8 @@
 //!   multi-controlled gates), with exact adjoints via [`Gate::adjoint`].
 //! * [`Circuit`] — an ordered list of [`Instruction`]s over `n` qubits with a
 //!   fluent builder API, structural helpers and [`Circuit::inverse`].
+//! * [`BasisBits`] — limb-backed computational-basis states for registers
+//!   wider than a `u64` index (witness replay at 64+ wires).
 //! * [`dag`] — a dependency DAG over instructions with ASAP layering, the
 //!   basis for depth computation and TetrisLock's empty-slot analysis.
 //! * [`fusion`] — a pre-pass grouping maximal runs of adjacent
@@ -42,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bits;
 pub mod circuit;
 pub mod dag;
 pub mod display;
@@ -55,6 +58,7 @@ pub mod random;
 pub mod real;
 pub mod stats;
 
+pub use bits::BasisBits;
 pub use circuit::{Circuit, Instruction};
 pub use dag::{CircuitDag, Layer};
 pub use error::CircuitError;

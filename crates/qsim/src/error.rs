@@ -21,6 +21,15 @@ pub enum SimError {
     },
     /// A state-construction argument was invalid.
     InvalidState(String),
+    /// An out-of-core column's live shard count exceeded its budget —
+    /// the circuit branched the basis column into more amplitude
+    /// support than the configured memory/disk envelope allows.
+    ShardBudgetExceeded {
+        /// Live shards the next allocation would have required.
+        shards: usize,
+        /// Configured shard budget.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +46,10 @@ impl fmt::Display for SimError {
                 "circuit needs {circuit} qubits but state has only {state}"
             ),
             SimError::InvalidState(message) => write!(f, "invalid state: {message}"),
+            SimError::ShardBudgetExceeded { shards, max } => write!(
+                f,
+                "basis column branched into {shards} shards, over the budget of {max}"
+            ),
         }
     }
 }

@@ -14,6 +14,9 @@
 //!   engine internals and the determinism contract).
 //! * [`unitary`] — full-unitary extraction and equivalence checking used to
 //!   *prove* de-obfuscation correctness in tests.
+//! * [`mod@column`] — sparse, spillable single-column simulation
+//!   ([`ShardedColumn`]) for witness replay on registers far past the
+//!   dense cap: memory scales with amplitude support, not width.
 //! * [`noise`] — stochastic Pauli + readout error model (the Monte-Carlo
 //!   equivalent of Qiskit's depolarizing/readout noise).
 //! * [`Device`] — backend models, including [`Device::fake_valencia`]
@@ -44,6 +47,7 @@
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod column;
 pub mod complex;
 pub mod density;
 pub mod device;
@@ -57,6 +61,7 @@ pub mod sampler;
 pub mod statevector;
 pub mod unitary;
 
+pub use column::{basis_column_amplitude, ColumnConfig, ShardedColumn, MAX_COLUMN_QUBITS};
 pub use complex::C64;
 pub use density::DensityMatrix;
 pub use device::Device;

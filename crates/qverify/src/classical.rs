@@ -9,7 +9,7 @@
 //! [`crate::CLASSICAL_EXHAUSTIVE_MAX_QUBITS`].
 
 use crate::{Report, Tier, Verdict, Witness};
-use qcir::Circuit;
+use qcir::{BasisBits, Circuit};
 use revlib::classical_eval;
 
 /// Exhaustively compares two classical circuits on every basis input.
@@ -34,9 +34,9 @@ pub(crate) fn check(a: &Circuit, b: &Circuit) -> Report {
             return Report {
                 verdict: Verdict::Inequivalent {
                     witness: Witness::BasisInput {
-                        input: input as u64,
-                        left_output: left as u64,
-                        right_output: right as u64,
+                        input: BasisBits::from_u64(n, input as u64),
+                        left_output: BasisBits::from_u64(n, left as u64),
+                        right_output: BasisBits::from_u64(n, right as u64),
                     },
                 },
                 tier: Tier::Classical,
@@ -79,9 +79,9 @@ mod tests {
                         right_output,
                     },
             } => {
-                assert_eq!(input, 0b011);
-                assert_eq!(left_output, 0b111);
-                assert_eq!(right_output, 0b011);
+                assert_eq!(input, BasisBits::from_u64(3, 0b011));
+                assert_eq!(left_output, BasisBits::from_u64(3, 0b111));
+                assert_eq!(right_output, BasisBits::from_u64(3, 0b011));
             }
             other => panic!("expected basis witness, got {other:?}"),
         }

@@ -13,7 +13,7 @@
 //! |---|---|---|---|
 //! | [`Tier::Classical`] | both circuits are classical reversible, ≤ [`CLASSICAL_EXHAUSTIVE_MAX_QUBITS`] qubits | `O(2ⁿ·gates)` bit ops | exact (exhaustive) |
 //! | [`Tier::Tableau`] | both circuits are Clifford | `O(n·gates)` words | exact (stabilizer) |
-//! | [`Tier::Zx`] | the miter diagram reduces to the identity, or its residue yields a replay-confirmed basis witness | `O(gates²)` graph rewriting (+ one replay) | exact, two-sided |
+//! | [`Tier::Zx`] | the miter diagram reduces to the identity, or its residue yields a replay-confirmed witness | `O(gates²)` graph rewriting (+ a few replays) | exact, two-sided |
 //! | [`Tier::Dense`] | ≤ [`MAX_UNITARY_QUBITS`] qubits | `O(4ⁿ·gates)` | exact (full unitary) |
 //! | [`Tier::Stimulus`] | ≤ [`MAX_STIMULUS_QUBITS`] qubits | `O(trials·2ⁿ·gates)`, parallel | statistical (miter) |
 //!
@@ -30,10 +30,13 @@
 //! dense state and no qubit cap, which is what certifies Clifford+T
 //! round-trips past every simulation tier. A *stalled* reduction proves
 //! nothing by itself, but its residue proposes candidate basis inputs;
-//! a candidate confirmed by an independent replay — classical bit
-//! evaluation for reversible circuits up to 63 wires, or one `qsim` basis
-//! replay within the statevector cap — certifies **inequivalence** with
-//! a concrete [`Witness::BasisInput`]/[`Witness::BasisColumn`]. With no
+//! a candidate confirmed by an independent replay — limb-backed
+//! classical bit evaluation for reversible circuits at **any** register
+//! width, or a sharded out-of-core basis-column replay of the miter up
+//! to [`MAX_COLUMN_QUBITS`] wires (with a dense statevector fallback
+//! for branchy miters within [`MAX_STIMULUS_QUBITS`]) — certifies
+//! **inequivalence** with a concrete [`Witness::BasisInput`] /
+//! [`Witness::BasisColumn`] / [`Witness::RelativePhase`]. With no
 //! confirmed candidate the tier falls through. The **stimulus** tier
 //! builds the same miter but runs it on randomized product-state inputs
 //! (seeded, reproducible) in parallel batches across threads; any input
@@ -73,16 +76,27 @@ mod zx;
 pub use zx::phase::{Phase, DYADIC_GRID_LOG};
 pub use zx::MAX_MCX_CONTROLS;
 
-use qcir::Circuit;
+use qcir::{BasisBits, Circuit};
 use std::fmt;
 
 pub use qsim::statevector::MAX_QUBITS as MAX_STIMULUS_QUBITS;
 pub use qsim::unitary::MAX_UNITARY_QUBITS;
+pub use qsim::MAX_COLUMN_QUBITS;
 
 /// Largest register for which the classical tier enumerates every basis
 /// input (`2¹⁶` evaluations per circuit); beyond it classical circuits
 /// fall through to the quantum tiers.
 pub const CLASSICAL_EXHAUSTIVE_MAX_QUBITS: u32 = 16;
+
+/// Most *branching* gates (H/CH/√X/Rx/Ry/U — the gates that split one
+/// basis amplitude into two) a miter may contain for the ZX tier's
+/// sharded basis-column replay to apply. Each branching gate at most
+/// doubles the column's amplitude support, so `2^MAX_COLUMN_BRANCHING`
+/// bounds the live amplitudes and keeps the replay's memory envelope
+/// within its shard budget at any width up to [`MAX_COLUMN_QUBITS`].
+/// Branchier miters fall back to one dense statevector replay within
+/// [`MAX_STIMULUS_QUBITS`], and are replay-infeasible past it.
+pub const MAX_COLUMN_BRANCHING: u32 = 10;
 
 // Tier dispatch telemetry: every tier attempt in `check_report` ticks
 // its entered counter, records its elapsed time, and — when tracing at
@@ -215,20 +229,20 @@ pub enum Witness {
         right: u32,
     },
     /// A basis input the two classical circuits map differently
-    /// (classical tier, or a ZX residue confirmed by bit-level replay
-    /// — exact at any register width the `u64` basis encoding covers,
-    /// ≤ 63 wires).
+    /// (classical tier, or a ZX residue confirmed by bit-level replay).
+    /// The limb-backed [`BasisBits`] encoding makes the witness exact
+    /// at **any** register width — 64+ wires included.
     BasisInput {
         /// The diverging basis input.
-        input: u64,
+        input: BasisBits,
         /// Image under the first circuit.
-        left_output: u64,
+        left_output: BasisBits,
         /// Image under the second circuit.
-        right_output: u64,
+        right_output: BasisBits,
     },
     /// A basis input whose output states have overlap below 1 (dense
-    /// tier, or a ZX residue confirmed by one statevector basis replay
-    /// of the miter).
+    /// tier, or a ZX residue confirmed by a basis-column replay of the
+    /// miter — sharded out-of-core up to [`MAX_COLUMN_QUBITS`] wires).
     BasisColumn {
         /// The diverging basis input (unitary column).
         input: u64,
@@ -236,7 +250,9 @@ pub enum Witness {
         overlap: f64,
     },
     /// Two basis inputs picking up different phases — the circuits agree
-    /// columnwise but only up to a *relative* phase (dense tier).
+    /// columnwise but only up to a *relative* phase (dense tier, or a ZX
+    /// diagonal residue confirmed by phase replay of two miter basis
+    /// eigenvectors — the shape `T` vs `T†` produces).
     RelativePhase {
         /// First basis input.
         input_a: u64,
@@ -275,7 +291,7 @@ impl fmt::Display for Witness {
                 right_output,
             } => write!(
                 f,
-                "basis input {input:#b} maps to {left_output:#b} vs {right_output:#b}"
+                "basis input {input} maps to {left_output} vs {right_output}"
             ),
             Witness::BasisColumn { input, overlap } => write!(
                 f,
@@ -516,6 +532,7 @@ impl Verifier {
     /// b.x(12); // wrong key: one stray inverter
     /// let report = Verifier::new().check_report(&a, &b);
     /// assert_eq!(report.tier, Tier::Zx);
+    /// assert_eq!(report.confidence(), 1.0);
     /// let Verdict::Inequivalent {
     ///     witness: Witness::BasisInput { input, left_output, right_output },
     /// } = report.verdict
@@ -523,10 +540,9 @@ impl Verifier {
     ///     panic!("expected a replay-confirmed basis witness");
     /// };
     /// // The witness is independently checkable with plain bit ops.
-    /// assert_eq!(revlib::classical_eval(&a, input as usize).unwrap() as u64, left_output);
-    /// assert_eq!(revlib::classical_eval(&b, input as usize).unwrap() as u64, right_output);
+    /// assert_eq!(revlib::classical_eval_bits(&a, &input).unwrap(), left_output);
+    /// assert_eq!(revlib::classical_eval_bits(&b, &input).unwrap(), right_output);
     /// assert_ne!(left_output, right_output);
-    /// assert_eq!(report.confidence(), 1.0);
     /// ```
     pub fn check(&self, original: &Circuit, candidate: &Circuit) -> Verdict {
         self.check_report(original, candidate).verdict
@@ -698,17 +714,20 @@ fn mismatch_report(a: &Circuit, b: &Circuit) -> Report {
 mod tests {
     use super::*;
 
-    /// An *inequivalent* pair (`T` vs `T†`) on which the ZX tier must
-    /// fall through — its miter residue is a lone *diagonal* wire
-    /// spider, which fixes every basis ray, so no basis witness can be
-    /// replay-confirmed — and tier selection falls through to the
-    /// simulation tiers. Non-classical and non-Clifford by
-    /// construction.
+    /// An *inequivalent* pair on which the ZX tier must fall through —
+    /// the 8-control `Mcx` exceeds [`MAX_MCX_CONTROLS`], so the miter
+    /// never even translates to a diagram — and tier selection falls
+    /// through to the simulation tiers. The `T`/`T†` garnish keeps the
+    /// pair non-classical and non-Clifford, so neither exact bit tier
+    /// applies. (A plain `T` vs `T†` pair no longer works here: the ZX
+    /// tier certifies it with a phase-replay witness.)
     fn zx_stalling_pair(n: u32) -> (Circuit, Circuit) {
+        assert!(n >= 9, "fixture needs 8 controls plus a target");
+        let controls: Vec<u32> = (0..8).collect();
         let mut a = Circuit::new(n);
-        a.t(0);
+        a.mcx(&controls, 8).t(8);
         let mut b = Circuit::new(n);
-        b.tdg(0);
+        b.mcx(&controls, 8).tdg(8);
         (a, b)
     }
 
@@ -771,9 +790,10 @@ mod tests {
 
     #[test]
     fn dense_tier_selected_for_small_non_clifford() {
-        // ZX stalls on this pair, so the dense tier decides it — with
-        // a concrete witness ZX could never produce.
-        let (a, b) = zx_stalling_pair(3);
+        // ZX stalls on this pair (the miter never translates), so the
+        // dense tier decides it — with a concrete witness ZX could
+        // never produce here.
+        let (a, b) = zx_stalling_pair(9);
         let report = Verifier::new().check_report(&a, &b);
         assert_eq!(report.tier, Tier::Dense);
         assert!(report.verdict.is_inequivalent());
@@ -835,19 +855,52 @@ mod tests {
     }
 
     #[test]
-    fn zx_tier_never_guesses_on_diagonal_residues() {
-        // A genuinely different pair whose residue is diagonal: no
-        // basis input can see it, so check_zx must return None and the
-        // full dispatch must produce the witness from a lower tier.
+    fn zx_tier_certifies_diagonal_residues_by_phase_replay() {
+        // A genuinely different pair whose residue is purely diagonal:
+        // no single basis input can see it (every basis ray is fixed),
+        // but two basis eigenvectors pick up *different* phases, and
+        // the phase replay certifies exactly that. Historically this
+        // shape fell through to the dense tier; now ZX decides it.
         let mut a = Circuit::new(2);
         a.t(0);
         let mut b = Circuit::new(2);
         b.t(1);
-        let verifier = Verifier::new();
-        assert!(verifier.check_zx(&a, &b).is_none());
-        let report = verifier.check_report(&a, &b);
-        assert!(report.verdict.is_inequivalent());
-        assert_ne!(report.tier, Tier::Zx);
+        let report = Verifier::new().check_report(&a, &b);
+        assert_eq!(report.tier, Tier::Zx, "{report}");
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Inequivalent {
+                    witness: Witness::RelativePhase {
+                        input_a: 0,
+                        input_b: 0b01
+                    }
+                }
+            ),
+            "{report}"
+        );
+        assert_eq!(report.confidence(), 1.0);
+    }
+
+    #[test]
+    fn diagonal_residue_past_the_column_cap_is_inconclusive() {
+        // T vs T† at 64 wires: past MAX_COLUMN_QUBITS no replay backend
+        // can address the basis column, so the ZX tier must fall
+        // through rather than guess — and with every simulation tier
+        // also out of reach, the verdict is honestly Inconclusive.
+        let n = MAX_COLUMN_QUBITS + 1;
+        let mut a = Circuit::new(n);
+        a.t(0);
+        let mut b = Circuit::new(n);
+        b.tdg(0);
+        let report = Verifier::new().check_report(&a, &b);
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Inconclusive { confidence } if confidence == 0.0
+            ),
+            "{report}"
+        );
     }
 
     #[test]

@@ -23,9 +23,12 @@
 //! * **a stalled non-identity diagram proves nothing by itself** — the
 //!   rule set is deliberately incomplete — but it *proposes* candidate
 //!   basis inputs, and a candidate confirmed by an independent replay
-//!   ([`witness`]: classical bit-level evaluation for pairs up to 63 wires, or a
-//!   single `qsim` basis replay within the statevector cap) certifies
-//!   **inequivalence** with a concrete witness;
+//!   ([`witness`]: limb-backed classical bit evaluation for reversible
+//!   pairs at any width, or sharded basis-column replays of the miter
+//!   up to [`qsim::MAX_COLUMN_QUBITS`] wires — magnitude deficits
+//!   certify basis-column witnesses, and diverging unit phases certify
+//!   relative-phase witnesses) certifies **inequivalence** with a
+//!   concrete witness;
 //! * **a stall with no confirmed candidate still certifies nothing** —
 //!   [`check`] returns `None` and the verifier falls through to the
 //!   dense or stimulus tier. The replay gate means a rewrite-engine bug
@@ -46,13 +49,14 @@ pub use translate::MAX_MCX_CONTROLS;
 ///
 /// * `Some(Equivalent)` (tier [`Tier::Zx`]) on full reduction to the
 ///   identity — exact at any register size;
-/// * `Some(Inequivalent)` with a replay-confirmed basis witness when
-///   the reduction stalls short of the identity and [`witness`]
-///   certifies a distinguishing basis input;
+/// * `Some(Inequivalent)` with a replay-confirmed witness when the
+///   reduction stalls short of the identity and [`witness`] certifies a
+///   distinguishing basis input, a deficient basis column, or a
+///   relative phase between two basis eigenvectors (the shape purely
+///   diagonal residues produce);
 /// * `None` when the circuits do not translate (an `Mcx` beyond
 ///   [`MAX_MCX_CONTROLS`] controls), or rewriting stalls and no
-///   candidate input survives replay (including every purely diagonal
-///   residue, which no single basis input can see).
+///   candidate input survives replay.
 pub(crate) fn check(original: &Circuit, candidate: &Circuit, eps: f64) -> Option<Report> {
     if original.num_qubits() != candidate.num_qubits() {
         return None;
@@ -123,14 +127,26 @@ mod tests {
     }
 
     #[test]
-    fn diagonal_residue_returns_none_rather_than_guessing() {
+    fn diagonal_residue_yields_relative_phase_witness() {
         // A lone T gate differs from the empty circuit, but the residue
-        // is diagonal — invisible to any basis input — so the tier must
-        // fall through with `None` rather than fabricate a witness.
+        // is diagonal — invisible to any *single* basis input. Two
+        // basis eigenvectors still disagree in phase (⟨0|T|0⟩ = 1 vs
+        // ⟨1|T|1⟩ = e^{iπ/4}), and the phase replay certifies exactly
+        // that.
         let mut a = Circuit::new(2);
         a.t(0);
         let b = Circuit::new(2);
-        assert!(check(&a, &b, EPS).is_none());
+        let report = check(&a, &b, EPS).expect("phase replay must certify");
+        assert_eq!(report.tier, Tier::Zx);
+        assert!(matches!(
+            report.verdict,
+            Verdict::Inequivalent {
+                witness: Witness::RelativePhase {
+                    input_a: 0,
+                    input_b: 1
+                }
+            }
+        ));
     }
 
     #[test]
@@ -165,16 +181,26 @@ mod tests {
     }
 
     #[test]
-    fn t_versus_tdg_falls_through_but_never_lies() {
+    fn t_versus_tdg_yields_relative_phase_witness() {
         // T vs T† leaves a lone π/2 wire spider in the miter: diagonal,
-        // so no basis witness exists, and the genuinely inequivalent
-        // pair must fall through with `None` rather than any verdict.
+        // so no single basis input sees it — this pair was the tier's
+        // canonical blind spot. The phase replay closes it: the miter
+        // is S, and ⟨0|S|0⟩ = 1 disagrees with ⟨1|S|1⟩ = i.
         let mut a = Circuit::new(1);
         a.t(0);
         let mut b = Circuit::new(1);
         b.tdg(0);
         assert!(!equivalent_up_to_phase(&a, &b, EPS).unwrap());
-        assert!(check(&a, &b, EPS).is_none());
+        let report = check(&a, &b, EPS).expect("phase replay must certify");
+        assert!(matches!(
+            report.verdict,
+            Verdict::Inequivalent {
+                witness: Witness::RelativePhase {
+                    input_a: 0,
+                    input_b: 1
+                }
+            }
+        ));
     }
 
     #[test]
@@ -200,7 +226,7 @@ mod tests {
     fn wide_classical_wrong_pair_yields_bit_replay_witness() {
         // 40 qubits: past every simulation cap. Both circuits are
         // classical reversible, so the certification replay is plain
-        // bit evaluation — exact at any translatable width ≤ 63 wires.
+        // bit evaluation — exact at any translatable width.
         let n = 40u32;
         let mut a = Circuit::new(n);
         for q in 0..n - 2 {
@@ -224,11 +250,11 @@ mod tests {
         assert_ne!(left_output, right_output);
         // The witness is independently checkable.
         assert_eq!(
-            revlib::classical_eval(&a, input as usize).unwrap() as u64,
+            revlib::classical_eval_bits(&a, &input).unwrap(),
             left_output
         );
         assert_eq!(
-            revlib::classical_eval(&b, input as usize).unwrap() as u64,
+            revlib::classical_eval_bits(&b, &input).unwrap(),
             right_output
         );
     }

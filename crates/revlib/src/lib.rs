@@ -47,7 +47,7 @@ pub use error::RevlibError;
 pub use grover::grover;
 pub use linear::{graycode6, majority5, parity9};
 pub use modular::{mod5_4, mod_mixer};
-pub use spec::{classical_eval, toffoli_double, Benchmark};
+pub use spec::{classical_eval, classical_eval_bits, toffoli_double, Benchmark};
 pub use weight::{rd43, rd53, rd73, rd84};
 
 /// The eight benchmarks of the paper's Table I, in table order.

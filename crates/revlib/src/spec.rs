@@ -8,7 +8,7 @@
 //! functional validation.
 
 use crate::error::RevlibError;
-use qcir::{Circuit, Gate};
+use qcir::{BasisBits, Circuit, Gate};
 
 /// Reference permutation: maps an input basis index to the output basis
 /// index (bit `k` of the index is qubit `k`).
@@ -170,6 +170,80 @@ pub fn classical_eval(circuit: &Circuit, input: usize) -> Result<usize, RevlibEr
     Ok(state)
 }
 
+/// Classically evaluates a reversible circuit on a wide basis state.
+///
+/// The limb-backed twin of [`classical_eval`]: same gate subset, same
+/// semantics, but the basis state is a [`BasisBits`] so the register
+/// width is not capped by the `usize` index encoding — this is what
+/// lets witness replay certify wrong-key pairs at 64+ wires. The two
+/// evaluators are implemented independently (index arithmetic vs
+/// per-bit reads), and the test suites pin their agreement on every
+/// width where both apply.
+///
+/// # Errors
+///
+/// Returns [`RevlibError::NonClassicalGate`] on any gate outside the
+/// classical subset, exactly like [`classical_eval`].
+///
+/// # Example
+///
+/// ```
+/// use qcir::{BasisBits, Circuit};
+/// use revlib::spec::classical_eval_bits;
+///
+/// let mut c = Circuit::new(80);
+/// c.x(70).cx(70, 79);
+/// let out = classical_eval_bits(&c, &BasisBits::zeros(80))?;
+/// assert!(out.bit(70) && out.bit(79) && out.count_ones() == 2);
+/// # Ok::<(), revlib::RevlibError>(())
+/// ```
+pub fn classical_eval_bits(circuit: &Circuit, input: &BasisBits) -> Result<BasisBits, RevlibError> {
+    let mut state = input.clone();
+    for (index, inst) in circuit.iter().enumerate() {
+        let qs = inst.qubits();
+        let bit = |s: &BasisBits, k: usize| s.bit(qs[k].index() as u32);
+        match inst.gate() {
+            Gate::I => {}
+            Gate::X => state.toggle(qs[0].index() as u32),
+            Gate::CX => {
+                if bit(&state, 0) {
+                    state.toggle(qs[1].index() as u32);
+                }
+            }
+            Gate::CCX => {
+                if bit(&state, 0) && bit(&state, 1) {
+                    state.toggle(qs[2].index() as u32);
+                }
+            }
+            Gate::Mcx(_) => {
+                let controls = qs.len() - 1;
+                if (0..controls).all(|k| bit(&state, k)) {
+                    state.toggle(qs[controls].index() as u32);
+                }
+            }
+            Gate::Swap => {
+                if bit(&state, 0) != bit(&state, 1) {
+                    state.toggle(qs[0].index() as u32);
+                    state.toggle(qs[1].index() as u32);
+                }
+            }
+            Gate::CSwap => {
+                if bit(&state, 0) && bit(&state, 1) != bit(&state, 2) {
+                    state.toggle(qs[1].index() as u32);
+                    state.toggle(qs[2].index() as u32);
+                }
+            }
+            other => {
+                return Err(RevlibError::NonClassicalGate {
+                    gate: other.to_string(),
+                    index,
+                })
+            }
+        }
+    }
+    Ok(state)
+}
+
 /// A tiny 3-qubit double-Toffoli benchmark used in doctests and smoke
 /// tests (not part of Table I).
 pub fn toffoli_double() -> Benchmark {
@@ -226,6 +300,51 @@ mod tests {
         c.x(0).h(1);
         assert_eq!(
             classical_eval(&c, 0),
+            Err(RevlibError::NonClassicalGate {
+                gate: "h".into(),
+                index: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn bits_evaluator_agrees_with_index_evaluator() {
+        let mut c = Circuit::new(4);
+        c.x(0)
+            .cx(0, 1)
+            .ccx(0, 1, 2)
+            .mcx(&[0, 1, 2], 3)
+            .swap(0, 3)
+            .cswap(0, 1, 2);
+        for input in 0..16usize {
+            let wide = classical_eval_bits(&c, &BasisBits::from_u64(4, input as u64)).unwrap();
+            assert_eq!(
+                wide.to_u64().unwrap(),
+                classical_eval(&c, input).unwrap() as u64,
+                "input {input:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn bits_evaluator_works_past_the_u64_width() {
+        // Move a bit across the limb boundary and back: q100 → q10 → q3.
+        let mut c = Circuit::new(120);
+        c.cx(100, 10).cx(10, 100).cx(100, 10); // swap via 3 CX
+        c.swap(10, 3);
+        let mut input = BasisBits::zeros(120);
+        input.set(100, true);
+        let out = classical_eval_bits(&c, &input).unwrap();
+        assert!(out.bit(3));
+        assert_eq!(out.count_ones(), 1);
+    }
+
+    #[test]
+    fn bits_evaluator_rejects_quantum_gates() {
+        let mut c = Circuit::new(70);
+        c.x(0).h(65);
+        assert_eq!(
+            classical_eval_bits(&c, &BasisBits::zeros(70)),
             Err(RevlibError::NonClassicalGate {
                 gate: "h".into(),
                 index: 1,

@@ -54,14 +54,26 @@ fn full_pipeline_trace_is_schema_valid_and_parseable() {
     let report = qverify::Verifier::new().check_report(&circuit, &restored);
     assert!(report.verdict.is_equivalent());
 
-    // A deliberately inequivalent dense-tier check so the statevector
-    // kernels run inside this same trace (the ZX residue of t vs tdg is
-    // phase-only, which no basis witness can confirm).
+    // A phase-only inequivalent pair: the ZX tier certifies it through
+    // the phase replay, so the witness counters land in this trace.
     let mut t = Circuit::new(2);
     t.t(0);
     let mut tdg = Circuit::new(2);
     tdg.tdg(0);
-    let dense = qverify::Verifier::new().check_report(&t, &tdg);
+    let phase = qverify::Verifier::new().check_report(&t, &tdg);
+    assert_eq!(phase.tier, qverify::Tier::Zx);
+    assert!(phase.verdict.is_inequivalent());
+
+    // A deliberately inequivalent dense-tier check so the statevector
+    // kernels run inside this same trace: the 8-control mcx refuses ZX
+    // translation, so the miter never becomes a diagram and the dense
+    // tier decides.
+    let mut wide = Circuit::new(9);
+    wide.mcx(&[0, 1, 2, 3, 4, 5, 6, 7], 8).t(8);
+    let mut wide_bad = Circuit::new(9);
+    wide_bad.mcx(&[0, 1, 2, 3, 4, 5, 6, 7], 8).tdg(8);
+    let dense = qverify::Verifier::new().check_report(&wide, &wide_bad);
+    assert_eq!(dense.tier, qverify::Tier::Dense);
     assert!(dense.verdict.is_inequivalent());
 
     qobs::flush();
@@ -98,6 +110,9 @@ fn full_pipeline_trace_is_schema_valid_and_parseable() {
         "qsim.kernel.",
         "qverify.tier.dense.entered",
         "qverify.tier.dense.elapsed_us",
+        "qverify.zx.witness.basis_replays",
+        "qverify.zx.witness.phase_replays",
+        "qverify.zx.witness.confirmed",
     ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }

@@ -7,8 +7,12 @@
 //! * a 34-qubit Clifford+T restore round-trip — past the statevector
 //!   cap, where no tier could previously give an exact answer — is
 //!   certified by the **ZX-calculus** tier, while a corrupted restore
-//!   whose residue is diagonal honestly stays `Inconclusive` (no basis
-//!   witness exists, and ZX never guesses);
+//!   whose miter is too *branchy* for any replay backend honestly
+//!   stays `Inconclusive` (ZX never guesses);
+//! * the tier's historical blind spots are closed: `T` vs `T†` is
+//!   rejected with a **relative-phase** witness, and a 30-qubit
+//!   diagonal-plus-permutation residue — past the statevector cap — is
+//!   witnessed through the **sharded out-of-core basis-column** replay;
 //! * 20- and 28-qubit wrong-key recombinations are rejected by the
 //!   **ZX tier itself** with replay-confirmed basis witnesses — since
 //!   the two-sided witness extension, sampling is no longer needed for
@@ -33,7 +37,7 @@ use qsim::unitary::equivalent_up_to_phase;
 use qverify::{Report, Tier, Verdict, Verifier, Witness, MAX_UNITARY_QUBITS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use revlib::{all_benchmarks, classical_eval};
+use revlib::{all_benchmarks, classical_eval, classical_eval_bits};
 use tetrislock::interlock::SplitPair;
 use tetrislock::recombine::recombine;
 use tetrislock::Obfuscator;
@@ -180,10 +184,12 @@ fn thirty_four_qubit_clifford_t_roundtrip_certified_by_zx_tier() {
     assert!(report.verdict.is_equivalent(), "{report}");
     assert_eq!(report.confidence(), 1.0);
 
-    // A corrupted restore cannot be *witnessed* at this size: the T
-    // residue is diagonal (invisible to every basis input), the
-    // circuits are not classical (no bit replay), and the register is
-    // past the statevector cap (no basis replay) — so the witness
+    // A corrupted restore cannot be *witnessed* at this size: the
+    // miter carries hundreds of Hadamards, far over the
+    // MAX_COLUMN_BRANCHING bound, so the sharded column replay refuses
+    // (its amplitude support would blow the shard budget), the
+    // register is past the statevector cap (no dense replay), and the
+    // circuits are not classical (no bit replay) — so the witness
     // extension has nothing sound to offer and the dispatch honestly
     // reports Inconclusive rather than guessing.
     let mut corrupted = restored.clone();
@@ -273,8 +279,8 @@ fn twenty_qubit_wrong_key_rejected_exactly_by_zx_witness() {
             // Bit-replay witness (both circuits classical): checkable
             // outside the verifier entirely.
             assert_ne!(
-                classical_eval(&c, *input as usize).unwrap(),
-                classical_eval(&bad, *input as usize).unwrap()
+                classical_eval_bits(&c, input).unwrap(),
+                classical_eval_bits(&bad, input).unwrap()
             );
         }
         Verdict::Inequivalent {
@@ -372,6 +378,7 @@ fn thirty_qubit_wrong_key_rejected_past_every_simulation_cap() {
     );
     let report = verifier.check_report(&c, &bad);
     assert_eq!(report.tier, Tier::Zx, "{report}");
+    assert_eq!(report.confidence(), 1.0);
     let Verdict::Inequivalent {
         witness:
             Witness::BasisInput {
@@ -387,16 +394,70 @@ fn thirty_qubit_wrong_key_rejected_past_every_simulation_cap() {
         );
     };
     // The witness survives independent re-evaluation.
-    assert_eq!(
-        classical_eval(&c, input as usize).unwrap() as u64,
-        left_output
-    );
-    assert_eq!(
-        classical_eval(&bad, input as usize).unwrap() as u64,
-        right_output
-    );
+    assert_eq!(classical_eval_bits(&c, &input).unwrap(), left_output);
+    assert_eq!(classical_eval_bits(&bad, &input).unwrap(), right_output);
     assert_ne!(left_output, right_output);
+}
+
+#[test]
+fn t_versus_tdg_certified_with_relative_phase_witness() {
+    // The tier cascade's canonical blind spot, closed: T vs T† leaves a
+    // purely diagonal miter residue that no single basis input can see,
+    // so for four issues this pair documented an honest fall-through.
+    // The phase replay now certifies it at the ZX tier itself: basis
+    // eigenvectors |0⟩ and |1⟩ acquire different phases through the
+    // miter, and that disagreement is the witness.
+    let mut a = Circuit::new(1);
+    a.t(0);
+    let mut b = Circuit::new(1);
+    b.tdg(0);
+    let report = Verifier::new().check_report(&a, &b);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
     assert_eq!(report.confidence(), 1.0);
+    assert!(
+        matches!(
+            report.verdict,
+            Verdict::Inequivalent {
+                witness: Witness::RelativePhase {
+                    input_a: 0,
+                    input_b: 1
+                }
+            }
+        ),
+        "{report}"
+    );
+}
+
+#[test]
+fn thirty_qubit_diagonal_witness_via_sharded_column_replay() {
+    // A 30-qubit non-classical wrong pair: past the statevector cap,
+    // so the old single-statevector basis replay could never certify
+    // it. The miter has no branching gates, so the sharded out-of-core
+    // column replay streams the relevant basis columns in bounded
+    // memory and confirms the witness — the permutation residue shows
+    // up as a vanished diagonal amplitude (a BasisColumn witness), and
+    // the t/tdg garnish keeps the pair off the classical and Clifford
+    // tiers.
+    let n = 30u32;
+    assert!(n > qverify::MAX_STIMULUS_QUBITS);
+    assert!(n <= qverify::MAX_COLUMN_QUBITS);
+    let mut a = Circuit::new(n);
+    a.t(0).tdg(0).swap(3, 7);
+    let b = Circuit::new(n);
+    let report = Verifier::new().check_report(&a, &b);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    assert_eq!(report.confidence(), 1.0);
+    let Verdict::Inequivalent {
+        witness: Witness::BasisColumn { input, overlap },
+    } = report.verdict
+    else {
+        panic!("expected a sharded-replay basis-column witness, got {report}");
+    };
+    // A single-bit probe on an active wire sees the crossed wires: the
+    // miter moves |...1_3...⟩ to |...1_7...⟩, so the diagonal amplitude
+    // vanishes.
+    assert!(overlap < 1e-9, "overlap {overlap}");
+    assert!(input == 1 << 3 || input == 1 << 7, "input {input:#b}");
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Property suite for the wide basis encoding (`qcir::BasisBits`) and
+//! the 64+-wire witness replay it unlocks.
+//!
+//! ISSUE 10 acceptance: the limb-backed encoding must agree bit-for-bit
+//! with the legacy `u64` path everywhere both exist (≤ 63 wires), do
+//! the right thing at exactly the 63/64/65-wire boundary, and carry the
+//! bit-level replay — and through it the ZX tier's witness
+//! certification — to 64–128-wire registers. The final regression test
+//! pins the headline: the old `n > 63` witness rejection is gone.
+
+use proptest::prelude::*;
+use qcir::{BasisBits, Circuit, Gate};
+use qverify::{Tier, Verdict, Verifier, Witness};
+use revlib::{classical_eval, classical_eval_bits};
+
+/// Strategy: a random classical reversible circuit over `lo..=hi`
+/// wires (X/CX/CCX/Swap).
+fn reversible_circuit(lo: u32, hi: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (lo..=hi, 1..=max_gates).prop_flat_map(|(n, len)| {
+        let gate = prop_oneof![
+            (0..n).prop_map(|q| (Gate::X, vec![q])),
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::CX, vec![a, b]))
+            }),
+            (0..n, 0..n).prop_filter_map("distinct wires", move |(a, b)| {
+                (a != b).then(|| (Gate::Swap, vec![a, b]))
+            }),
+            (0..n, 0..n, 0..n).prop_filter_map("distinct wires", move |(a, b, c)| {
+                (a != b && b != c && a != c).then(|| (Gate::CCX, vec![a, b, c]))
+            }),
+        ];
+        proptest::collection::vec(gate, 1..=len).prop_map(move |gates| {
+            let mut circuit = Circuit::with_name(n, "wide_enc_prop");
+            for (g, wires) in gates {
+                circuit.append(g, &wires).expect("generated wires valid");
+            }
+            circuit
+        })
+    })
+}
+
+/// Strategy: a basis state over `width` wires from random limbs.
+fn basis_state(width: u32) -> impl Strategy<Value = BasisBits> {
+    let limbs = (width as usize).div_ceil(64);
+    proptest::collection::vec(0u64..=u64::MAX, limbs..=limbs).prop_map(move |limbs| {
+        let mut x = BasisBits::zeros(width);
+        for i in 0..width {
+            if limbs[i as usize / 64] >> (i % 64) & 1 == 1 {
+                x.set(i, true);
+            }
+        }
+        x
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u64_embedding_round_trips(width in 1u32..=63, value in 0u64..=u64::MAX) {
+        let value = value & ((1u64 << width) - 1);
+        let x = BasisBits::from_u64(width, value);
+        prop_assert_eq!(x.to_u64(), Some(value));
+        prop_assert_eq!(x.count_ones(), value.count_ones());
+        for i in 0..width {
+            prop_assert_eq!(x.bit(i), value >> i & 1 == 1);
+        }
+        prop_assert_eq!(x.to_string(), format!("{value:#b}"));
+    }
+
+    #[test]
+    fn set_get_round_trips_past_the_limb_boundary(x in basis_state(128)) {
+        // Rebuild from the reported bits; a faithful get/set pair must
+        // reproduce the state exactly, including equality and hashing.
+        let mut rebuilt = BasisBits::zeros(128);
+        for i in 0..128 {
+            rebuilt.set(i, x.bit(i));
+        }
+        prop_assert_eq!(&rebuilt, &x);
+        prop_assert_eq!(rebuilt.count_ones(), (0..128).filter(|&i| x.bit(i)).count() as u32);
+    }
+
+    #[test]
+    fn bit_replay_agrees_with_legacy_u64_path_below_64_wires(
+        circuit in reversible_circuit(3, 20, 24),
+        seed in 0u64..=u64::MAX,
+    ) {
+        // Everywhere both replays exist they must be the same function.
+        let n = circuit.num_qubits();
+        let input = seed & ((1u64 << n) - 1);
+        let legacy = classical_eval(&circuit, input as usize).unwrap() as u64;
+        let wide = classical_eval_bits(&circuit, &BasisBits::from_u64(n, input)).unwrap();
+        prop_assert_eq!(wide.to_u64(), Some(legacy));
+    }
+
+    #[test]
+    fn wide_replay_is_a_permutation_witness_oracle(
+        circuit in reversible_circuit(64, 128, 24),
+        flip in 0u32..64,
+    ) {
+        // 64-128 wires: the legacy u64 path cannot even name these
+        // inputs. The wide replay must still behave like a reversible
+        // permutation: deterministic, and bijective on distinct inputs
+        // (checked on a pair differing in one bit).
+        let n = circuit.num_qubits();
+        let zero = BasisBits::zeros(n);
+        let mut one = BasisBits::zeros(n);
+        one.set(flip % n, true);
+        let image_zero = classical_eval_bits(&circuit, &zero).unwrap();
+        let image_one = classical_eval_bits(&circuit, &one).unwrap();
+        prop_assert_eq!(image_zero.width(), n);
+        prop_assert_eq!(&classical_eval_bits(&circuit, &zero).unwrap(), &image_zero);
+        prop_assert_ne!(&image_zero, &image_one, "a permutation cannot merge inputs");
+    }
+
+    #[test]
+    fn wrong_pairs_at_64_to_128_wires_get_replay_certified_witnesses(
+        circuit in reversible_circuit(64, 128, 20),
+        stray in 0u32..64,
+    ) {
+        // The tentpole end to end, property-styled: a wide reversible
+        // pair with one stray inverter must be rejected by the ZX tier
+        // with a BasisBits witness that survives independent replay.
+        // (The CCX garnish keeps the pair non-Clifford, so the exact
+        // tableau tier cannot take the case first.)
+        let n = circuit.num_qubits();
+        let mut circuit = circuit;
+        circuit.ccx(0, 1, 2);
+        let mut bad = circuit.clone();
+        bad.x(stray % n);
+        let report = Verifier::new().check_report(&circuit, &bad);
+        prop_assert_eq!(report.tier, Tier::Zx, "{}", report);
+        let Verdict::Inequivalent {
+            witness: Witness::BasisInput { input, left_output, right_output },
+        } = report.verdict
+        else {
+            panic!("expected a bit-replay witness, got {report}");
+        };
+        prop_assert_eq!(input.width(), n);
+        prop_assert_ne!(&left_output, &right_output);
+        prop_assert_eq!(&classical_eval_bits(&circuit, &input).unwrap(), &left_output);
+        prop_assert_eq!(&classical_eval_bits(&bad, &input).unwrap(), &right_output);
+    }
+}
+
+#[test]
+fn boundary_widths_are_exact() {
+    // 63 wires: still u64-expressible, and the narrowing must be
+    // lossless at the top bit. 64/65 wires: u64 must refuse, limbs must
+    // carry on.
+    let mut x63 = BasisBits::zeros(63);
+    x63.set(62, true);
+    assert_eq!(x63.to_u64(), Some(1u64 << 62));
+
+    let mut x64 = BasisBits::zeros(64);
+    x64.set(63, true);
+    assert_eq!(x64.to_u64(), Some(1u64 << 63));
+    assert_eq!(x64.count_ones(), 1);
+
+    let mut x65 = BasisBits::zeros(65);
+    x65.set(64, true);
+    assert_eq!(x65.to_u64(), None, "bit 64 cannot narrow");
+    assert!(x65.bit(64) && !x65.bit(63));
+
+    // A CX straddling the limb boundary: control below, target above.
+    let mut c = Circuit::new(65);
+    c.x(63).cx(63, 64);
+    let out = classical_eval_bits(&c, &BasisBits::zeros(65)).unwrap();
+    assert!(out.bit(63) && out.bit(64));
+    assert_eq!(out.count_ones(), 2);
+}
+
+#[test]
+fn witness_replay_works_at_exactly_63_64_and_65_wires() {
+    // The widths around the old cliff: at 63 the legacy path still
+    // worked; 64 and 65 were rejected outright (`n > 63` bailed before
+    // proposing a single candidate). All three must now be decided.
+    for n in [63u32, 64, 65] {
+        let mut a = Circuit::new(n);
+        for q in 0..n - 2 {
+            a.cx(q, q + 1).ccx(q, q + 1, q + 2);
+        }
+        let mut b = a.clone();
+        b.x(n - 4);
+        let report = Verifier::new().check_report(&a, &b);
+        assert_eq!(report.tier, Tier::Zx, "{n} wires: {report}");
+        let Verdict::Inequivalent {
+            witness: Witness::BasisInput { input, .. },
+        } = report.verdict
+        else {
+            panic!("{n} wires: expected a bit-replay witness, got {report}");
+        };
+        assert_eq!(input.width(), n);
+
+        // And the equivalent direction stays certified.
+        let mut same = a.clone();
+        same.x(0).x(0);
+        let report = Verifier::new().check_report(&a, &same);
+        assert_eq!(report.tier, Tier::Zx, "{n} wires: {report}");
+        assert!(report.verdict.is_equivalent(), "{n} wires: {report}");
+    }
+}
+
+#[test]
+fn the_63_wire_witness_rejection_is_lifted() {
+    // Regression pin for the headline behavior change: a 100-wire
+    // wrong-key-style reversible pair was `Inconclusive` under the u64
+    // encoding (the witness extractor bailed at `n > 63`); it now gets
+    // a concrete, independently checkable witness.
+    let n = 100u32;
+    let mut a = Circuit::new(n);
+    for q in 0..n - 2 {
+        a.cx(q, q + 1).ccx(q, q + 1, q + 2);
+    }
+    let mut b = a.clone();
+    b.x(77);
+    let report = Verifier::new().check_report(&a, &b);
+    assert_eq!(report.tier, Tier::Zx, "{report}");
+    assert_eq!(report.confidence(), 1.0);
+    let Verdict::Inequivalent {
+        witness:
+            Witness::BasisInput {
+                input,
+                left_output,
+                right_output,
+            },
+    } = report.verdict
+    else {
+        panic!("expected a bit-replay witness, got {report}");
+    };
+    assert_eq!(classical_eval_bits(&a, &input).unwrap(), left_output);
+    assert_eq!(classical_eval_bits(&b, &input).unwrap(), right_output);
+    assert_ne!(left_output, right_output);
+}
